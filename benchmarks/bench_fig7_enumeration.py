@@ -1,0 +1,82 @@
+"""Fig. 7 — strong scaling of the basis construction (states enumeration).
+
+Times the real distributed enumeration at laptop scale and regenerates the
+paper-scale speedup curves for 40 and 42 spins, including the message-size
+saturation analysis of Sec. 6.2 (8400 elements per chunk and ~2 KB puts for
+40 spins on 32 nodes vs ~8 KB for 42 spins).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basis import SymmetricBasis
+from repro.distributed import enumerate_states
+from repro.perfmodel import EnumerationScalingModel, paper_workload
+from repro.runtime import Cluster, laptop_machine, snellius_machine
+from repro.symmetry import chain_symmetries
+
+from conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def template20():
+    group = chain_symmetries(20, momentum=0, parity=0, inversion=0)
+    return SymmetricBasis(group, hamming_weight=10, build=False)
+
+
+def test_enumeration_kernel(benchmark, template20):
+    cluster = Cluster(4, laptop_machine(cores=4))
+    dbasis, report = benchmark(
+        enumerate_states, cluster, template20, 4, True
+    )
+    assert dbasis.dim == 2518
+    assert report.extras["load_imbalance"] < 1.6
+
+
+def test_enumeration_raw_range_kernel(benchmark):
+    # The faithful variant that scans the whole 2**n range (smaller n).
+    group = chain_symmetries(16, momentum=0, parity=0, inversion=0)
+    template = SymmetricBasis(group, hamming_weight=8, build=False)
+    cluster = Cluster(4, laptop_machine(cores=4))
+    dbasis, _ = benchmark(enumerate_states, cluster, template, 2)
+    assert dbasis.dim == 257
+
+
+def test_fig7_paper_scale_curves(benchmark):
+    machine = snellius_machine()
+    e40 = EnumerationScalingModel(machine, paper_workload(40))
+    e42 = EnumerationScalingModel(machine, paper_workload(42))
+
+    def build():
+        lines = [
+            f"{'locales':>8} {'40: speedup':>12} {'put[B]':>9} "
+            f"{'42: speedup':>12} {'put[B]':>9}"
+        ]
+        for n in (1, 2, 4, 8, 16, 32):
+            lines.append(
+                f"{n:>8} {e40.speedup(n):>12.1f} {e40.put_bytes(n):>9.0f} "
+                f"{e42.speedup(n):>12.1f} {e42.put_bytes(n):>9.0f}"
+            )
+        return lines
+
+    lines = benchmark(build)
+    # Paper anchors: near-perfect scaling to 16 nodes; at 32 nodes the
+    # 40-spin curve saturates (2 KB puts) while 42 spins stays good (8 KB).
+    assert e40.speedup(16) > 0.8 * 16
+    assert e42.speedup(32) / 32 > e40.speedup(32) / 32 + 0.15
+    assert abs(e40.put_bytes(32) - 2048) / 2048 < 0.15
+    assert abs(e42.put_bytes(32) - 8192) / 8192 < 0.15
+    assert abs(e40.kept_per_chunk(32) - 8400) / 8400 < 0.05
+    write_result(
+        "fig7_enumeration",
+        "\n".join(
+            lines
+            + [
+                "",
+                "Paper: ~8400 elements/chunk and ~260-element (2 KB) puts",
+                "for 40 spins at 32 nodes -> saturation; ~8 KB for 42",
+                "spins -> keeps scaling.  Reproduced.",
+            ]
+        ),
+    )

@@ -1,0 +1,115 @@
+"""Microbenchmarks of the core Python kernels.
+
+These measure the real NumPy throughput of the building blocks (the
+analogue of the paper's Halide kernel performance): basis enumeration,
+``state_info``, ``getManyRows``, ``stateToIndex`` binary search, the
+destination partition, and the mixing hash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SymmetricBasis
+from repro.bits import states_with_weight
+from repro.distributed import hash64, locale_of
+from repro.distributed.convert import stable_partition
+from repro.operators import compile_expression
+from repro.symmetry import chain_symmetries
+
+N_SITES = 24
+WEIGHT = 12
+
+
+@pytest.fixture(scope="module")
+def batch():
+    states = states_with_weight(N_SITES, WEIGHT)
+    return states[:: max(states.size // 200_000, 1)]
+
+
+@pytest.fixture(scope="module")
+def group():
+    return chain_symmetries(N_SITES, momentum=0, parity=0, inversion=0)
+
+
+def test_states_with_weight(benchmark):
+    out = benchmark(states_with_weight, N_SITES, WEIGHT)
+    assert out.size == 2_704_156
+
+
+def test_hash64_throughput(benchmark, batch):
+    out = benchmark(hash64, batch)
+    assert out.size == batch.size
+
+
+def test_locale_of_throughput(benchmark, batch):
+    out = benchmark(locale_of, batch, 64)
+    assert out.max() < 64
+
+
+def test_state_info_throughput(benchmark, group, batch):
+    sample = batch[:20_000]
+    rep, phase, stab = benchmark(group.state_info, sample)
+    assert rep.size == sample.size
+
+
+def test_get_many_rows_throughput(benchmark, group):
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    compiled = compile_expression(repro.heisenberg_chain(N_SITES), N_SITES)
+    alphas = basis.states[:4096]
+    scale = basis.source_scale[:4096]
+    from repro.operators import get_many_rows
+
+    sources, members, amps = benchmark(
+        get_many_rows, compiled, basis, alphas, scale
+    )
+    assert sources.size > 0
+
+
+def test_state_to_index_throughput(benchmark, group):
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    rng = np.random.default_rng(0)
+    queries = basis.states[rng.integers(0, basis.dim, size=100_000)]
+    idx = benchmark(basis.index, queries)
+    assert np.array_equal(basis.states[idx], queries)
+
+
+def test_prefix_ranker_throughput(benchmark, group):
+    # The trie/prefix-table ranking alternative (same results, see
+    # tests/test_prefix_ranker.py); throughput compared against the plain
+    # binary search above.
+    from repro.basis import PrefixRanker
+
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    ranker = PrefixRanker(basis.states, prefix_bits=14)
+    rng = np.random.default_rng(0)
+    queries = basis.states[rng.integers(0, basis.dim, size=100_000)]
+    idx = benchmark(ranker.rank, queries)
+    assert np.array_equal(basis.states[idx], queries)
+
+
+def test_combinadic_ranker_throughput(benchmark):
+    # Closed-form U(1) ranking (no table lookups into the state list).
+    from repro.basis import CombinatorialRanker
+
+    ranker = CombinatorialRanker(N_SITES, WEIGHT)
+    rng = np.random.default_rng(0)
+    queries = ranker.unrank(rng.integers(0, ranker.size, size=100_000))
+    idx = benchmark(ranker.rank, queries)
+    assert idx.size == queries.size
+
+
+def test_partition_by_destination_throughput(benchmark, batch):
+    dests = locale_of(batch, 32)
+    out, counts = benchmark(stable_partition, batch, dests, 32)
+    assert counts.sum() == batch.size
+
+
+def test_serial_matvec_throughput(benchmark, group):
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    op = repro.Operator(repro.heisenberg_chain(N_SITES), basis)
+    x = np.random.default_rng(1).standard_normal(basis.dim)
+    y = benchmark(op.matvec, x)
+    assert y.shape == x.shape

@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+real-data kernels are timed with pytest-benchmark at laptop scale, and the
+paper-scale rows/series are produced with the calibrated performance models
+and written to ``benchmarks/results/*.txt`` (also echoed to stdout — run
+with ``-s`` to see them live).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a regenerated table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n=== {name} (saved to {path}) ===")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def laptop_cluster4():
+    from repro.runtime import Cluster, laptop_machine
+
+    return Cluster(4, laptop_machine(cores=4))
+
+
+@pytest.fixture(scope="session")
+def chain20_snellius_setup():
+    """A 20-spin chain on 4 simulated Snellius nodes (128 cores each).
+
+    The producer-consumer pipeline's advantages (buffer reuse, no task
+    spawns, overlap) only show on a machine with many cores per node; the
+    comparison benchmarks use this fixture while the kernel benchmarks use
+    the smaller laptop-scale one.
+    """
+    import repro
+    from repro.basis import SymmetricBasis
+    from repro.distributed import enumerate_states
+    from repro.runtime import Cluster, snellius_machine
+    from repro.symmetry import chain_symmetries
+
+    group = chain_symmetries(20, momentum=0, parity=0, inversion=0)
+    serial = SymmetricBasis(group, hamming_weight=10)
+    cluster = Cluster(4, snellius_machine())
+    template = SymmetricBasis(group, hamming_weight=10, build=False)
+    dbasis, _ = enumerate_states(
+        cluster, template, chunks_per_core=1, use_weight_shortcut=True
+    )
+    return serial, dbasis
+
+
+@pytest.fixture(scope="session")
+def chain16_setup():
+    """A 16-spin chain in the paper's sector, enumerated on 4 locales."""
+    import repro
+    from repro.basis import SymmetricBasis
+    from repro.distributed import enumerate_states
+    from repro.runtime import Cluster, laptop_machine
+    from repro.symmetry import chain_symmetries
+
+    group = chain_symmetries(16, momentum=0, parity=0, inversion=0)
+    serial = SymmetricBasis(group, hamming_weight=8)
+    cluster = Cluster(4, laptop_machine(cores=4))
+    template = SymmetricBasis(group, hamming_weight=8, build=False)
+    dbasis, report = enumerate_states(
+        cluster, template, use_weight_shortcut=True
+    )
+    return serial, dbasis, report

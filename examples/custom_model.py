@@ -1,0 +1,77 @@
+"""Defining a custom Hamiltonian with the symbolic operator algebra.
+
+"Generic Hamiltonians" is one of the feature axes of the paper's Table 1:
+users must be able to write down arbitrary interactions without touching
+library internals.  This example builds an anisotropic
+Heisenberg + Dzyaloshinskii-Moriya + field model on a 4x3 square lattice
+from scratch, checks its symmetries programmatically, and solves it —
+including on the simulated cluster.
+
+Run:  python examples/custom_model.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.basis import SpinBasis
+from repro.operators.hamiltonians import square_lattice_edges
+
+NX, NY = 4, 3
+N_SITES = NX * NY
+
+
+def build_model(jz: float, jxy: float, dm: float, field: float) -> repro.Expression:
+    """XXZ exchange + z-axis Dzyaloshinskii-Moriya term + uniform field."""
+    h = repro.Expression()
+    for i, j in square_lattice_edges(NX, NY, periodic=True):
+        h = h + jz * (repro.spin_z(i) * repro.spin_z(j))
+        h = h + 0.5 * jxy * (
+            repro.spin_plus(i) * repro.spin_minus(j)
+            + repro.spin_minus(i) * repro.spin_plus(j)
+        )
+        # D (S^x_i S^y_j - S^y_i S^x_j) — equals (D/2i)(S+_i S-_j - S-_i S+_j)
+        h = h + dm * (
+            repro.spin_x(i) * repro.spin_y(j) - repro.spin_y(i) * repro.spin_x(j)
+        )
+    for i in range(N_SITES):
+        h = h - field * repro.spin_z(i)
+    return h
+
+
+def main() -> None:
+    model = build_model(jz=1.0, jxy=0.8, dm=0.3, field=0.15)
+    print(f"custom model on a {NX}x{NY} torus ({model.n_terms} canonical terms)")
+    print(f"  hermitian             : {model.is_hermitian()}")
+
+    compiled = repro.compile_expression(model, N_SITES)
+    print(f"  conserves Sz (U(1))   : {compiled.conserves_magnetization}")
+    print(f"  off-diagonal kernels  : {compiled.n_off_diag_primitives}")
+    print(f"  real matrix elements  : {compiled.is_real}")
+
+    # The DM term breaks reality but keeps U(1): use the fixed-Sz basis.
+    basis = SpinBasis(N_SITES, hamming_weight=N_SITES // 2)
+    op = repro.Operator(model, basis)
+    print(f"  sector dimension      : {basis.dim:,}  (dtype {op.dtype})")
+
+    rng = np.random.default_rng(0)
+    v0 = rng.standard_normal(basis.dim) + 1j * rng.standard_normal(basis.dim)
+    result = repro.lanczos(op.matvec, v0, k=3, tol=1e-10, max_iter=500)
+    print(f"  lowest levels         : "
+          + ", ".join(f"{e:.6f}" for e in result.eigenvalues))
+
+    # The same expression drives the distributed operator unchanged.
+    cluster = repro.Cluster(3, repro.laptop_machine(cores=4))
+    dbasis = repro.DistributedBasis.from_template(
+        cluster, SpinBasis(N_SITES, hamming_weight=N_SITES // 2)
+    )
+    dop = repro.DistributedOperator(model, dbasis, batch_size=128)
+    dresult, sim_time = repro.lanczos_distributed(dop, k=1, tol=1e-10)
+    print(f"  distributed E0        : {dresult.eigenvalues[0]:.6f} "
+          f"(matches: {np.isclose(dresult.eigenvalues[0], result.eigenvalues[0])})")
+    print(f"  simulated wall time   : {sim_time:.4f} s on {cluster}")
+
+
+if __name__ == "__main__":
+    main()

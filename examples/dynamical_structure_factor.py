@@ -1,0 +1,68 @@
+"""Dynamical spin structure factor S(k, omega) of a Heisenberg chain.
+
+The flagship post-processing workload of exact diagonalization: for every
+momentum transfer ``k``, seed a Lanczos run with ``S^z_k |ground state>``
+and read off the excitation spectrum.  For the Heisenberg chain the
+spectral weight fills the two-spinon continuum between the
+des Cloizeaux-Pearson lower bound ``(pi/2)|sin k|`` and ``pi |sin(k/2)|``.
+
+Run:  python examples/dynamical_structure_factor.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.basis import SpinBasis
+from repro.linalg import spectral_function
+
+N_SITES = 14
+
+
+def sz_k(k_index: int) -> repro.Expression:
+    """Fourier-transformed spin operator ``S^z_k``."""
+    k = 2 * np.pi * k_index / N_SITES
+    expr = repro.Expression()
+    for r in range(N_SITES):
+        expr = expr + (np.exp(1j * k * r) / np.sqrt(N_SITES)) * repro.spin_z(r)
+    return expr
+
+
+def main() -> None:
+    basis = SpinBasis(N_SITES, hamming_weight=N_SITES // 2)
+    op = repro.Operator(repro.heisenberg_chain(N_SITES), basis)
+    result = repro.lanczos(
+        op.matvec,
+        np.random.default_rng(0).standard_normal(basis.dim),
+        k=1,
+        tol=1e-10,
+        compute_eigenvectors=True,
+    )
+    e0 = result.eigenvalues[0]
+    ground = result.eigenvectors[0].astype(np.complex128)
+
+    print(f"S(k, w) of the {N_SITES}-site Heisenberg chain "
+          f"(dim {basis.dim:,}, E0 = {e0:.6f})\n")
+    print(f"{'k':>3} {'2pik/n':>8} {'S(k)':>8} {'w_lowest':>9} "
+          f"{'dCP bound':>10} {'upper':>7}")
+    for k_index in range(1, N_SITES // 2 + 1):
+        probe = repro.Operator(sz_k(k_index), basis)
+        seed = probe.matvec(ground)
+        sf = spectral_function(op.matvec, seed, ground_energy=e0, krylov_dim=120)
+        k = 2 * np.pi * k_index / N_SITES
+        significant = sf.poles[sf.weights > 1e-6 * max(sf.total_weight, 1e-30)]
+        lowest = significant.min() if significant.size else float("nan")
+        lower_bound = np.pi / 2 * abs(np.sin(k))
+        upper_bound = np.pi * abs(np.sin(k / 2))
+        print(
+            f"{k_index:>3} {k:>8.4f} {sf.total_weight:>8.4f} "
+            f"{lowest:>9.4f} {lower_bound:>10.4f} {upper_bound:>7.4f}"
+        )
+    print("\nThe lowest pole tracks the des Cloizeaux-Pearson dispersion")
+    print("(pi/2)|sin k| from above (finite-size gap), and the static")
+    print("structure factor S(k) grows toward k = pi (antiferromagnet).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Real-time quench dynamics with the Krylov propagator.
+
+Prepare the Neel state |up down up down ...>, quench it under the
+Heisenberg Hamiltonian, and follow the decay of the staggered magnetization
+— a standard workload whose every time step is a chain of matrix-vector
+products, i.e. exactly the operation the paper optimizes.
+
+Run:  python examples/time_evolution.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.basis import SpinBasis
+
+N_SITES = 14
+DT = 0.1
+N_STEPS = 40
+
+
+def staggered_magnetization_operator() -> repro.Expression:
+    """``M = (1/n) sum_i (-1)^i S^z_i``."""
+    op = repro.Expression()
+    for i in range(N_SITES):
+        op = op + ((-1) ** i / N_SITES) * repro.spin_z(i)
+    return op
+
+
+def main() -> None:
+    # The Neel state has n/2 up spins: U(1) applies (but no translation
+    # symmetry — the initial state breaks it).
+    basis = SpinBasis(N_SITES, hamming_weight=N_SITES // 2)
+    hamiltonian = repro.Operator(repro.heisenberg_chain(N_SITES), basis)
+    observable = repro.Operator(staggered_magnetization_operator(), basis)
+
+    neel = 0
+    for i in range(0, N_SITES, 2):
+        neel |= 1 << i
+    psi = np.zeros(basis.dim, dtype=np.complex128)
+    psi[int(basis.index(np.array([neel], dtype=np.uint64))[0])] = 1.0
+
+    energy0 = np.real(np.vdot(psi, hamiltonian.matvec(psi)))
+    print(f"Neel quench, {N_SITES}-site Heisenberg chain "
+          f"(dim {basis.dim:,}), dt={DT}")
+    print(f"{'t':>6} {'<M_stag>':>10} {'<H>':>12} {'norm':>8}")
+    for step in range(N_STEPS + 1):
+        m = np.real(np.vdot(psi, observable.matvec(psi)))
+        e = np.real(np.vdot(psi, hamiltonian.matvec(psi)))
+        norm = np.linalg.norm(psi)
+        if step % 4 == 0:
+            print(f"{step * DT:>6.2f} {m:>10.6f} {e:>12.8f} {norm:>8.5f}")
+        assert abs(e - energy0) < 1e-8, "energy must be conserved"
+        psi = repro.expm_krylov(
+            hamiltonian.matvec, psi, scale=-1j * DT, krylov_dim=25
+        )
+    print("\nEnergy conserved to 1e-8 over the whole evolution;")
+    print("the staggered magnetization relaxes from 0.5 toward 0 (thermalization).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Command-line entry point: ``python -m repro input.json``.
+
+Runs the exact-diagonalization simulation described by a JSON input file
+(see :mod:`repro.config` for the schema) and prints the result as JSON.
+"""
+
+from repro.config import main
+
+if __name__ == "__main__":
+    main()

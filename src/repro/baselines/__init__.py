@@ -1,0 +1,15 @@
+"""Baselines the paper compares against.
+
+The state of the art in distributed exact diagonalization is SPINPACK: an
+MPI code whose matrix-vector product is built on bulk-synchronous
+collectives (``MPI_Alltoallv``), run in pure-MPI mode (one rank per core).
+:mod:`repro.baselines.spinpack` reimplements that communication structure
+on the same simulated machine as `lattice-symmetries`, so the Fig. 9
+comparison isolates exactly what the paper credits for the speedup:
+asynchronous one-sided communication overlapping computation, versus
+synchronized collectives that cannot overlap.
+"""
+
+from repro.baselines.spinpack import SpinpackBasis, SpinpackOperator
+
+__all__ = ["SpinpackBasis", "SpinpackOperator"]

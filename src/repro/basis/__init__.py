@@ -1,0 +1,27 @@
+"""Many-body bases: full, U(1)-restricted, and symmetry-adapted.
+
+A *basis* maps between 64-bit basis states (bit patterns of up/down spins)
+and dense vector indices.  In the presence of symmetries the two are no
+longer trivially related (Fig. 1 of the paper): the basis stores one
+*representative* per surviving group orbit, and ``index`` performs the
+binary search the paper calls ``stateToIndex``.
+"""
+
+from repro.basis.ranking import (
+    CombinatorialRanker,
+    PrefixRanker,
+    SortedRanker,
+    binomial_table,
+)
+from repro.basis.spin_basis import Basis, SpinBasis
+from repro.basis.symm_basis import SymmetricBasis
+
+__all__ = [
+    "Basis",
+    "SpinBasis",
+    "SymmetricBasis",
+    "SortedRanker",
+    "CombinatorialRanker",
+    "PrefixRanker",
+    "binomial_table",
+]

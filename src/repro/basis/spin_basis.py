@@ -1,0 +1,153 @@
+"""Plain spin-1/2 bases: the full Hilbert space and fixed-magnetization
+(U(1)) sectors."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.bits.ops import as_states, bit_mask, popcount, states_with_weight
+from repro.basis.ranking import CombinatorialRanker
+from repro.errors import BasisError
+
+__all__ = ["Basis", "SpinBasis"]
+
+#: Refuse to materialize more than this many states at once.
+_MAX_MATERIALIZED = 1 << 26
+
+
+class Basis(abc.ABC):
+    """Common interface of all bases.
+
+    A basis defines the mapping between 64-bit *basis states* and dense
+    vector *indices* (see Fig. 1 of the paper), plus the projection of raw
+    Hamiltonian output states back onto basis members, which is where
+    symmetry characters and norms enter.
+    """
+
+    #: number of lattice sites
+    n_sites: int
+    #: Hamming-weight constraint, or None for the full space
+    hamming_weight: int | None
+
+    @property
+    @abc.abstractmethod
+    def dim(self) -> int:
+        """Number of basis elements."""
+
+    @property
+    @abc.abstractmethod
+    def states(self) -> np.ndarray:
+        """All basis states in index order (ascending ``uint64``)."""
+
+    @abc.abstractmethod
+    def index(self, queries) -> np.ndarray:
+        """Map basis states to indices (the paper's ``stateToIndex``)."""
+
+    @abc.abstractmethod
+    def check(self, candidates) -> np.ndarray:
+        """Membership mask over arbitrary candidate states.
+
+        This is the filter predicate of the paper's distributed states
+        enumeration (Sec. 5.2): a candidate belongs to the basis iff it
+        satisfies the U(1) constraint and is a surviving orbit
+        representative.
+        """
+
+    @abc.abstractmethod
+    def project(self, raw_states) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project raw states onto basis members.
+
+        Returns ``(members, factors, valid)``: for each raw state ``s``, the
+        basis state its symmetrized vector is proportional to, the
+        proportionality factor (character phase times the destination norm
+        contribution), and whether the projection is non-zero.  For plain
+        bases the projection is the identity with factor 1.
+        """
+
+    @property
+    def source_scale(self) -> np.ndarray | None:
+        """Optional per-index multiplier applied to matrix-element columns
+        (``1/sqrt(N_r)`` for symmetry-adapted bases, ``None`` otherwise)."""
+        return None
+
+    @property
+    def is_real(self) -> bool:
+        """Whether matrix elements in this basis are real."""
+        return True
+
+    @property
+    def scalar_dtype(self) -> np.dtype:
+        return np.dtype(np.float64 if self.is_real else np.complex128)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_sites={self.n_sites}, "
+            f"hamming_weight={self.hamming_weight}, dim={self.dim})"
+        )
+
+
+class SpinBasis(Basis):
+    """The full ``2**n`` Hilbert space, or a fixed-magnetization sector.
+
+    With ``hamming_weight=None`` the index of a state is the state itself;
+    with a weight constraint, indices are combinadic ranks (closed form, no
+    table lookup), cross-checked against sorted enumeration in the tests.
+    """
+
+    def __init__(self, n_sites: int, hamming_weight: int | None = None) -> None:
+        if not 1 <= n_sites <= 63:
+            raise ValueError(f"n_sites must be in [1, 63], got {n_sites}")
+        if hamming_weight is not None and not 0 <= hamming_weight <= n_sites:
+            raise ValueError("hamming_weight must be in [0, n_sites]")
+        self.n_sites = n_sites
+        self.hamming_weight = hamming_weight
+        self._ranker = (
+            None
+            if hamming_weight is None
+            else CombinatorialRanker(n_sites, hamming_weight)
+        )
+        self._states: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        if self._ranker is None:
+            return 1 << self.n_sites
+        return self._ranker.size
+
+    @property
+    def states(self) -> np.ndarray:
+        if self._states is None:
+            if self.dim > _MAX_MATERIALIZED:
+                raise BasisError(
+                    f"refusing to materialize {self.dim} states; "
+                    "use the distributed enumeration instead"
+                )
+            if self.hamming_weight is None:
+                self._states = np.arange(self.dim, dtype=np.uint64)
+            else:
+                self._states = states_with_weight(
+                    self.n_sites, self.hamming_weight
+                )
+        return self._states
+
+    def index(self, queries) -> np.ndarray:
+        q = as_states(queries)
+        if self._ranker is None:
+            if q.size and int(q.max()) >= self.dim:
+                raise BasisError("state outside the Hilbert space")
+            return q.astype(np.int64)
+        return self._ranker.rank(q)
+
+    def check(self, candidates) -> np.ndarray:
+        c = as_states(candidates)
+        in_range = c <= bit_mask(self.n_sites)
+        if self.hamming_weight is None:
+            return in_range
+        return in_range & (popcount(c) == np.uint64(self.hamming_weight))
+
+    def project(self, raw_states) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raw = as_states(raw_states)
+        factors = np.ones(raw.shape, dtype=np.float64)
+        return raw, factors, self.check(raw)

@@ -1,0 +1,49 @@
+"""Vectorized bit-manipulation kernels on 64-bit basis states.
+
+Basis states of a spin-1/2 system are represented as the low ``n`` bits of
+unsigned 64-bit integers (site ``i`` lives in bit ``i``).  Everything in this
+subpackage operates element-wise on NumPy ``uint64`` arrays so that the
+higher layers (symmetries, bases, Hamiltonian kernels) are fully vectorized.
+"""
+
+from repro.bits.ops import (
+    BITS_DTYPE,
+    as_states,
+    bit_mask,
+    get_bit,
+    set_bit,
+    clear_bit,
+    popcount,
+    parity,
+    rotate_left,
+    rotate_right,
+    reverse_bits,
+    flip_all,
+    gosper_next,
+    states_with_weight,
+    interleave,
+)
+from repro.bits.permutations import (
+    apply_permutation_to_states,
+    permutation_masks,
+)
+
+__all__ = [
+    "BITS_DTYPE",
+    "as_states",
+    "bit_mask",
+    "get_bit",
+    "set_bit",
+    "clear_bit",
+    "popcount",
+    "parity",
+    "rotate_left",
+    "rotate_right",
+    "reverse_bits",
+    "flip_all",
+    "gosper_next",
+    "states_with_weight",
+    "interleave",
+    "apply_permutation_to_states",
+    "permutation_masks",
+]

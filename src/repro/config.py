@@ -1,0 +1,319 @@
+"""Declarative simulation input files.
+
+The paper's package parses user input files (one of the jobs of its Haskell
+layer) so that physicists can run simulations without writing code.  This
+module provides the same interface with JSON:
+
+.. code-block:: json
+
+    {
+        "n_sites": 16,
+        "hamiltonian": {"model": "heisenberg_chain", "coupling": 1.0},
+        "basis": {
+            "hamming_weight": 8,
+            "momentum": 0, "parity": 0, "inversion": 0
+        },
+        "solver": {"k": 2, "tol": 1e-10},
+        "cluster": {"n_locales": 4}
+    }
+
+``load_simulation`` builds the objects; ``run_simulation`` executes the
+eigensolve (serially, or on the simulated cluster when a ``cluster``
+section is present).  ``python -m repro input.json`` runs it from the
+command line (sample files in ``examples/inputs/``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.basis.spin_basis import Basis, SpinBasis
+from repro.basis.symm_basis import SymmetricBasis
+from repro.errors import ReproError
+from repro.operators import hamiltonians
+from repro.operators.expression import Expression
+from repro.operators.operator import Operator
+from repro.symmetry.symmetries import chain_symmetries
+
+__all__ = ["SimulationSpec", "load_simulation", "run_simulation"]
+
+#: model name -> (builder, accepted keyword arguments)
+_MODELS = {
+    "heisenberg_chain": (hamiltonians.heisenberg_chain, {"coupling", "periodic"}),
+    "xxz_chain": (hamiltonians.xxz_chain, {"jz", "jxy", "periodic"}),
+    "transverse_field_ising": (
+        hamiltonians.transverse_field_ising,
+        {"coupling", "field", "periodic"},
+    ),
+    "j1j2_chain": (hamiltonians.j1j2_chain, {"j1", "j2", "periodic"}),
+}
+
+
+def _build_lattice_model(n_sites: int, section: dict) -> Expression:
+    """2-D lattice models that need their own geometry parameters."""
+    model = section["model"]
+    coupling = section.get("coupling", 1.0)
+    if model == "heisenberg_square":
+        nx, ny = int(section["nx"]), int(section["ny"])
+        if nx * ny != n_sites:
+            raise ReproError(f"nx*ny = {nx * ny} but n_sites = {n_sites}")
+        return hamiltonians.heisenberg_square(
+            nx, ny, coupling, section.get("periodic", True)
+        )
+    if model == "heisenberg_kagome12":
+        if n_sites != 12:
+            raise ReproError("the kagome-12 cluster has exactly 12 sites")
+        return hamiltonians.heisenberg(
+            hamiltonians.kagome_12_edges(), coupling
+        )
+    if model == "heisenberg_triangular":
+        nx, ny = int(section["nx"]), int(section["ny"])
+        if nx * ny != n_sites:
+            raise ReproError(f"nx*ny = {nx * ny} but n_sites = {n_sites}")
+        return hamiltonians.heisenberg(
+            hamiltonians.triangular_lattice_edges(nx, ny), coupling
+        )
+    raise ReproError(f"unknown lattice model {model!r}")
+
+
+@dataclass
+class SimulationSpec:
+    """A parsed and validated simulation input."""
+
+    n_sites: int
+    expression: Expression
+    basis: Basis
+    solver_options: dict = field(default_factory=dict)
+    cluster_options: dict | None = None
+    observables: list[dict] = field(default_factory=list)
+
+    @property
+    def distributed(self) -> bool:
+        return self.cluster_options is not None
+
+
+def _build_observable(n_sites: int, section: dict) -> tuple[str, Expression]:
+    """One entry of the ``observables`` list -> (name, expression)."""
+    kind = section.get("type")
+    if kind == "spin_correlation":
+        distance = int(section["distance"])
+        name = section.get("name", f"S0.S{distance}")
+        expr = hamiltonians.heisenberg([(0, distance % n_sites)])
+        return name, expr
+    if kind == "magnetization":
+        from repro.operators.expression import spin_z
+
+        name = section.get("name", "Sz_total")
+        return name, sum(spin_z(i) for i in range(n_sites))
+    if kind == "staggered_magnetization":
+        from repro.operators.expression import spin_z
+
+        name = section.get("name", "Sz_staggered")
+        return name, sum(
+            ((-1) ** i / n_sites) * spin_z(i) for i in range(n_sites)
+        )
+    raise ReproError(
+        f"unknown observable type {section.get('type')!r}; available: "
+        "spin_correlation, magnetization, staggered_magnetization"
+    )
+
+
+def _build_hamiltonian(n_sites: int, section: dict) -> Expression:
+    if "model" not in section:
+        raise ReproError("hamiltonian section needs a 'model' key")
+    model = section["model"]
+    if model == "heisenberg_graph":
+        edges = [tuple(edge) for edge in section["edges"]]
+        return hamiltonians.heisenberg(edges, section.get("coupling", 1.0))
+    if model.startswith(("heisenberg_square", "heisenberg_kagome",
+                         "heisenberg_triangular")):
+        return _build_lattice_model(n_sites, section)
+    if model not in _MODELS:
+        raise ReproError(
+            f"unknown model {model!r}; available: "
+            f"{sorted(_MODELS) + ['heisenberg_graph', 'heisenberg_square', 'heisenberg_kagome12', 'heisenberg_triangular']}"
+        )
+    builder, allowed = _MODELS[model]
+    kwargs = {k: v for k, v in section.items() if k != "model"}
+    unknown = set(kwargs) - allowed
+    if unknown:
+        raise ReproError(f"unknown parameters for {model}: {sorted(unknown)}")
+    return builder(n_sites, **kwargs)
+
+
+def _build_basis(n_sites: int, section: dict) -> Basis:
+    weight = section.get("hamming_weight")
+    symmetry_keys = {"momentum", "parity", "inversion"}
+    if symmetry_keys & set(section):
+        group = chain_symmetries(
+            n_sites,
+            momentum=section.get("momentum"),
+            parity=section.get("parity"),
+            inversion=section.get("inversion"),
+        )
+        return SymmetricBasis(group, hamming_weight=weight, build=False)
+    return SpinBasis(n_sites, hamming_weight=weight)
+
+
+def load_simulation(source) -> SimulationSpec:
+    """Parse a specification from a path, JSON string, or dict."""
+    if isinstance(source, dict):
+        data = source
+    else:
+        text = (
+            Path(source).read_text()
+            if Path(str(source)).exists()
+            else str(source)
+        )
+        data = json.loads(text)
+    if "n_sites" not in data:
+        raise ReproError("input file needs 'n_sites'")
+    n_sites = int(data["n_sites"])
+    expression = _build_hamiltonian(n_sites, data.get("hamiltonian", {}))
+    basis = _build_basis(n_sites, data.get("basis", {}))
+    observables = [
+        _build_observable(n_sites, section)
+        for section in data.get("observables", [])
+    ]
+    return SimulationSpec(
+        n_sites=n_sites,
+        expression=expression,
+        basis=basis,
+        solver_options=dict(data.get("solver", {})),
+        cluster_options=data.get("cluster"),
+        observables=[
+            {"name": name, "expression": expr} for name, expr in observables
+        ],
+    )
+
+
+def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
+    """Execute the eigensolve described by a spec.
+
+    Returns a JSON-serializable result dictionary (eigenvalues, dimension,
+    iteration count, and — for distributed runs — simulated time).
+    """
+    from repro.linalg.lanczos import lanczos, lanczos_distributed
+
+    options = dict(spec.solver_options)
+    k = int(options.pop("k", 1))
+    tol = float(options.pop("tol", 1e-10))
+    max_iter = int(options.pop("max_iter", 500))
+
+    if spec.distributed:
+        from repro.distributed.enumeration import enumerate_states
+        from repro.distributed.operator import DistributedOperator
+        from repro.runtime.cluster import Cluster
+        from repro.runtime.machine import laptop_machine, snellius_machine
+
+        cluster_options = dict(spec.cluster_options)
+        n_locales = int(cluster_options.pop("n_locales", 1))
+        machine_name = cluster_options.pop("machine", "snellius")
+        machine = (
+            laptop_machine(**cluster_options)
+            if machine_name == "laptop"
+            else snellius_machine()
+        )
+        cluster = Cluster(n_locales, machine)
+        dbasis, enum_report = enumerate_states(
+            cluster, spec.basis, use_weight_shortcut=True
+        )
+        operator = DistributedOperator(spec.expression, dbasis)
+        result, sim_time = lanczos_distributed(
+            operator,
+            k=k,
+            seed=seed,
+            tol=tol,
+            max_iter=max_iter,
+            compute_eigenvectors=bool(spec.observables),
+        )
+        output = {
+            "eigenvalues": result.eigenvalues.tolist(),
+            "dimension": dbasis.dim,
+            "iterations": result.n_iterations,
+            "converged": result.converged,
+            "n_locales": n_locales,
+            "simulated_seconds": sim_time,
+            "enumeration_seconds": enum_report.elapsed,
+        }
+        if spec.observables:
+            output["observables"] = _measure_distributed(
+                spec, dbasis, result.eigenvectors[0]
+            )
+        return output
+
+    basis = spec.basis
+    if isinstance(basis, SymmetricBasis):
+        basis.build()
+    operator = Operator(spec.expression, basis)
+    rng = np.random.default_rng(seed)
+    v0 = rng.standard_normal(basis.dim).astype(operator.dtype)
+    if operator.dtype == np.complex128:
+        v0 = v0 + 1j * rng.standard_normal(basis.dim)
+    result = lanczos(
+        operator.matvec,
+        v0,
+        k=k,
+        tol=tol,
+        max_iter=max_iter,
+        compute_eigenvectors=bool(spec.observables),
+    )
+    output = {
+        "eigenvalues": result.eigenvalues.tolist(),
+        "dimension": basis.dim,
+        "iterations": result.n_iterations,
+        "converged": result.converged,
+    }
+    if spec.observables:
+        from repro.operators.observables import expectation
+
+        ground = result.eigenvectors[0]
+        output["observables"] = {
+            entry["name"]: float(
+                np.real(expectation(entry["expression"], basis, ground))
+            )
+            for entry in spec.observables
+        }
+    return output
+
+
+def _measure_distributed(spec: SimulationSpec, dbasis, ground) -> dict:
+    """Ground-state observables on the simulated cluster."""
+    from repro.distributed.operator import DistributedOperator
+    from repro.distributed.vector import DistributedVectorSpace
+    from repro.operators.observables import symmetrize_expression
+
+    space = DistributedVectorSpace(dbasis)
+    norm_sq = np.real(space.dot(ground, ground))
+    group = getattr(spec.basis, "group", None)
+    values = {}
+    for entry in spec.observables:
+        expr = entry["expression"]
+        if group is not None and group.size > 1:
+            expr = symmetrize_expression(expr, group)
+        obs_op = DistributedOperator(expr, dbasis)
+        values[entry["name"]] = float(
+            np.real(space.dot(ground, obs_op.matvec(ground))) / norm_sq
+        )
+    return values
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Run an exact-diagonalization simulation from a JSON file"
+    )
+    parser.add_argument("input", help="path to the JSON input file")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    spec = load_simulation(args.input)
+    print(json.dumps(run_simulation(spec, seed=args.seed), indent=2))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,47 @@
+"""The paper's distributed algorithms (Sec. 5).
+
+- :mod:`~repro.distributed.hashing` — the ``hash64_01`` mixing hash and
+  ``localeIdxOf`` (Sec. 5.1);
+- :mod:`~repro.distributed.block` — block-distributed arrays (for I/O and
+  interoperability);
+- :mod:`~repro.distributed.convert` — order-preserving conversions between
+  the block and hashed distributions (Figs. 2-3);
+- :mod:`~repro.distributed.enumeration` — distributed basis-state
+  enumeration (Fig. 4);
+- :mod:`~repro.distributed.dist_basis` / :mod:`~repro.distributed.vector` —
+  hash-distributed bases and vectors with simulated-cost vector ops;
+- :mod:`~repro.distributed.matvec_naive` /
+  :mod:`~repro.distributed.matvec_batched` /
+  :mod:`~repro.distributed.matvec_pc` — the three matrix-vector product
+  implementations in the paper's order of refinement, the last one being
+  the producer-consumer pipeline of Fig. 5;
+- :mod:`~repro.distributed.operator` — the user-facing
+  :class:`~repro.distributed.operator.DistributedOperator`.
+"""
+
+from repro.distributed.hashing import hash64, locale_of
+from repro.distributed.block import BlockArray
+from repro.distributed.convert import block_to_hashed, hashed_to_block
+from repro.distributed.dist_basis import DistributedBasis
+from repro.distributed.vector import DistributedVector, DistributedVectorSpace
+from repro.distributed.enumeration import enumerate_states
+from repro.distributed.matvec_naive import matvec_naive
+from repro.distributed.matvec_batched import matvec_batched
+from repro.distributed.matvec_pc import matvec_producer_consumer
+from repro.distributed.operator import DistributedOperator
+
+__all__ = [
+    "hash64",
+    "locale_of",
+    "BlockArray",
+    "block_to_hashed",
+    "hashed_to_block",
+    "DistributedBasis",
+    "DistributedVector",
+    "DistributedVectorSpace",
+    "enumerate_states",
+    "matvec_naive",
+    "matvec_batched",
+    "matvec_producer_consumer",
+    "DistributedOperator",
+]

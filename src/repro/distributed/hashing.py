@@ -1,0 +1,44 @@
+"""The hashed distribution (Sec. 5.1 of the paper).
+
+Basis states are assigned to locales by a 64-bit mixing hash — the
+splitmix64 finalizer, reproduced verbatim from the paper's ``hash64_01``
+listing.  Because the hash mixes all bits, states spread uniformly over
+locales regardless of the highly non-uniform distribution of surviving
+representatives in ``[0, 2**n)``, giving the near-perfect load balance the
+matvec relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.ops import as_states
+
+__all__ = ["hash64", "locale_of"]
+
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def hash64(states) -> np.ndarray:
+    """The paper's ``hash64_01``: the splitmix64 finalizer, vectorized.
+
+    >>> int(hash64(np.uint64(0)))
+    0
+    """
+    x = as_states(states).copy()
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> _S30)) * _M1
+        x = (x ^ (x >> _S27)) * _M2
+        x = x ^ (x >> _S31)
+    return x
+
+
+def locale_of(states, n_locales: int) -> np.ndarray:
+    """The paper's ``localeIdxOf``: destination locale of each basis state."""
+    if n_locales < 1:
+        raise ValueError("n_locales must be positive")
+    return (hash64(states) % np.uint64(n_locales)).astype(np.int64)

@@ -1,0 +1,104 @@
+"""The batched distributed matrix-vector product (``getManyRows``).
+
+The first optimization of Sec. 5.3: whole chunks of rows are generated at
+once, sorted by destination locale in linear time, and shipped in one
+remote put per ``(chunk, destination)``.  A remote task is still spawned
+for every such put — after one step there are ``(#locales)^2 * #cores``
+tasks competing for ``#locales * #cores`` cores — and every transfer pays
+buffer allocation/pinning because nothing is reused.  Those two costs are
+what the producer-consumer refinement (:mod:`repro.distributed.matvec_pc`)
+eliminates.
+
+Cost model: per locale, producers (all cores) generate and partition; each
+outgoing put pays NIC latency + size-dependent bandwidth, serialized per
+NIC, plus a pinning charge; each incoming put spawns a task (spawn
+overhead + search + accumulate) on the shared core pool.  Production and
+consumption share cores, so their busy times add; communication overlaps
+compute (Chapel tasks yield while blocked on comm), so the elapsed time per
+locale is ``max(compute busy, NIC busy)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dist_basis import DistributedBasis
+from repro.distributed.matvec_common import (
+    ELEMENT_BYTES,
+    apply_diagonal,
+    check_vectors,
+    consume,
+    produce_chunk,
+)
+from repro.distributed.vector import DistributedVector
+from repro.operators.compile import CompiledOperator
+from repro.runtime.clock import CostLedger, SimReport
+
+__all__ = ["matvec_batched"]
+
+#: Bandwidth at which transfer buffers can be allocated + pinned (B/s).
+PIN_BANDWIDTH = 2.0e9
+
+
+def matvec_batched(
+    op: CompiledOperator,
+    basis: DistributedBasis,
+    x: DistributedVector,
+    y: DistributedVector | None = None,
+    batch_size: int = 1 << 13,
+) -> tuple[DistributedVector, SimReport]:
+    """``y = H x`` with chunked generation and per-chunk remote tasks."""
+    y = check_vectors(basis, x, y)
+    machine = basis.cluster.machine
+    net = machine.network
+    n = basis.n_locales
+    ledger = CostLedger(n)
+    report = SimReport(ledger=ledger)
+
+    apply_diagonal(op, basis, x, y)
+    compute_busy = np.zeros(n)  # generation + partition + consumption
+    nic_out = np.zeros(n)
+    nic_in = np.zeros(n)
+    for locale in range(n):
+        compute_busy[locale] += machine.compute_time(
+            machine.t_axpy, int(basis.counts[locale])
+        )
+
+    for locale in range(n):
+        count = int(basis.counts[locale])
+        for start in range(0, count, batch_size):
+            stop = min(start + batch_size, count)
+            chunk = produce_chunk(op, basis, locale, start, stop, x.parts[locale])
+            gen = machine.compute_time(machine.t_generate, chunk.n_emitted)
+            part = machine.compute_time(
+                machine.t_partition + machine.t_hash, chunk.betas.size
+            )
+            compute_busy[locale] += gen + part
+            ledger.add("generate", locale, gen + part)
+            for dest in range(n):
+                betas, values = chunk.slice_for(dest)
+                if betas.size == 0:
+                    continue
+                consume(basis, dest, y.parts[dest], betas, values)
+                nbytes = betas.size * ELEMENT_BYTES
+                report.messages += 1
+                report.bytes_sent += nbytes
+                pin = nbytes / PIN_BANDWIDTH  # fresh buffer every time
+                if dest == locale:
+                    compute_busy[locale] += machine.memcpy_time(nbytes) + pin
+                else:
+                    cost = net.transfer_time(nbytes) + pin
+                    nic_out[locale] += cost
+                    nic_in[dest] += cost
+                spawn_and_search = machine.compute_time(
+                    machine.t_search_accum, betas.size
+                ) + machine.compute_time(machine.task_spawn_overhead, 1)
+                compute_busy[dest] += spawn_and_search
+                ledger.add("consume", dest, spawn_and_search)
+
+    per_locale = np.maximum(compute_busy, np.maximum(nic_out, nic_in))
+    for locale in range(n):
+        ledger.add("nic", locale, float(max(nic_out[locale], nic_in[locale])))
+    report.elapsed = float(per_locale.max()) if n else 0.0
+    report.merge_phase("matvec", report.elapsed)
+    return y, report

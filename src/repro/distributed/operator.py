@@ -1,0 +1,93 @@
+"""The user-facing distributed operator.
+
+Ties together a symbolic expression, a hash-distributed basis, and the
+matvec implementations of Sec. 5.3; this is the distributed counterpart of
+:class:`repro.operators.Operator` and the object the distributed Lanczos
+solver drives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.dist_basis import DistributedBasis
+from repro.distributed.matvec_batched import matvec_batched
+from repro.distributed.matvec_naive import matvec_naive
+from repro.distributed.matvec_pc import matvec_producer_consumer
+from repro.distributed.vector import DistributedVector
+from repro.errors import CompilationError
+from repro.operators.compile import compile_expression
+from repro.operators.expression import Expression
+from repro.runtime.clock import SimReport
+
+__all__ = ["DistributedOperator"]
+
+_METHODS = {
+    "naive": matvec_naive,
+    "batched": matvec_batched,
+    "producer-consumer": matvec_producer_consumer,
+    "pc": matvec_producer_consumer,
+}
+
+
+class DistributedOperator:
+    """A Hermitian operator over a hash-distributed basis."""
+
+    def __init__(
+        self,
+        expression: Expression,
+        basis: DistributedBasis,
+        method: str = "pc",
+        **method_options,
+    ) -> None:
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown matvec method {method!r}; choose from {sorted(_METHODS)}"
+            )
+        self.basis = basis
+        self.compiled = compile_expression(expression, basis.n_sites)
+        if (
+            basis.template.hamming_weight is not None
+            and not self.compiled.conserves_magnetization
+        ):
+            raise CompilationError(
+                "operator does not conserve magnetization but the basis has "
+                "a fixed Hamming weight"
+            )
+        self.method = method
+        self.method_options = method_options
+        self.total_sim_time = 0.0
+        self.last_report: SimReport | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.basis.dim
+
+    @property
+    def dtype(self) -> np.dtype:
+        real = self.basis.is_real and self.compiled.is_real
+        return np.dtype(np.float64 if real else np.complex128)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistributedOperator(dim={self.dim}, method={self.method!r}, "
+            f"locales={self.basis.n_locales})"
+        )
+
+    def matvec(
+        self, x: DistributedVector, y: DistributedVector | None = None
+    ) -> DistributedVector:
+        """``y = H x``; the timing report lands in :attr:`last_report` and
+        accumulates into :attr:`total_sim_time`."""
+        impl = _METHODS[self.method]
+        y, report = impl(
+            self.compiled, self.basis, x, y, **self.method_options
+        )
+        self.last_report = report
+        self.total_sim_time += report.elapsed
+        return y
+
+    def __matmul__(self, x):
+        if isinstance(x, DistributedVector):
+            return self.matvec(x)
+        return NotImplemented

@@ -1,0 +1,42 @@
+"""Exception types used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidSectorError",
+    "BasisError",
+    "CompilationError",
+    "DistributionError",
+    "ConvergenceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidSectorError(ReproError):
+    """Raised when a symmetry sector specification is inconsistent.
+
+    A sector is inconsistent when the closure of the generators assigns two
+    different characters to the same group element (e.g. requesting momentum
+    ``k=1`` together with a reflection for a chain, where the reflection maps
+    momentum ``k`` to ``-k``).
+    """
+
+
+class BasisError(ReproError):
+    """Raised for invalid basis operations (unbuilt basis, state not found...)."""
+
+
+class CompilationError(ReproError):
+    """Raised when a symbolic operator expression cannot be compiled."""
+
+
+class DistributionError(ReproError):
+    """Raised for invalid distributed-array operations."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative eigensolver fails to converge."""

@@ -1,0 +1,155 @@
+"""Saving and loading vectors as per-locale ``.npy`` chunks + a manifest."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.distributed.block import BlockArray
+from repro.distributed.convert import block_to_hashed, hashed_to_block
+from repro.distributed.dist_basis import DistributedBasis
+from repro.distributed.hashing import locale_of
+from repro.distributed.vector import DistributedVector
+from repro.errors import DistributionError
+from repro.runtime.cluster import Cluster
+
+__all__ = [
+    "save_block_array",
+    "load_block_array",
+    "save_distributed_vector",
+    "load_distributed_vector",
+    "save_basis_states",
+    "load_basis_states",
+]
+
+_MANIFEST = "manifest.json"
+
+
+def save_block_array(directory, array: BlockArray, name: str = "vector") -> Path:
+    """Write one ``.npy`` per locale plus a manifest; returns the manifest
+    path.  In a real deployment each locale writes its own chunk in
+    parallel — which is exactly why the block distribution is used."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for locale, block in enumerate(array.blocks):
+        np.save(directory / f"{name}.{locale}.npy", block)
+    manifest = {
+        "name": name,
+        "n_locales": array.cluster.n_locales,
+        "global_length": array.global_length,
+        "dtype": str(array.dtype),
+    }
+    path = directory / f"{name}.{_MANIFEST}"
+    path.write_text(json.dumps(manifest, indent=2))
+    return path
+
+
+def load_block_array(directory, cluster: Cluster, name: str = "vector") -> BlockArray:
+    directory = Path(directory)
+    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
+    if manifest["n_locales"] != cluster.n_locales:
+        raise DistributionError(
+            f"file was written from {manifest['n_locales']} locales, "
+            f"cluster has {cluster.n_locales}"
+        )
+    blocks = [
+        np.load(directory / f"{name}.{locale}.npy")
+        for locale in range(cluster.n_locales)
+    ]
+    return BlockArray(cluster, blocks)
+
+
+def _basis_masks(basis: DistributedBasis) -> tuple[np.ndarray, BlockArray]:
+    """Sorted global states and their block-distributed destination masks."""
+    states = basis.global_states()
+    masks = BlockArray.from_global(
+        basis.cluster, locale_of(states, basis.n_locales)
+    )
+    return states, masks
+
+
+def save_distributed_vector(
+    directory, vector: DistributedVector, name: str = "vector"
+) -> Path:
+    """Convert a hashed-distribution vector to block layout and save it.
+
+    The element order on disk is the globally sorted basis-state order, so
+    files written from different locale counts are interchangeable.
+    """
+    basis = vector.basis
+    _, masks = _basis_masks(basis)
+    block, _ = hashed_to_block(vector.parts, masks)
+    return save_block_array(directory, block, name=name)
+
+
+def save_basis_states(
+    directory, basis: DistributedBasis, name: str = "basis"
+) -> Path:
+    """Persist an enumerated basis (the representative list).
+
+    Enumeration scans the full ``2**n`` range, so production workflows save
+    the result and reload it for subsequent runs; the file stores the
+    globally sorted states through the block distribution, so it is
+    locale-count independent.
+    """
+    states, masks = _basis_masks(basis)
+    block = BlockArray.from_global(basis.cluster, states)
+    # Sanity: the hashed parts reassemble into exactly these states.
+    rebuilt, _ = hashed_to_block(basis.parts, masks)
+    if not all(
+        np.array_equal(a, b) for a, b in zip(rebuilt.blocks, block.blocks)
+    ):
+        raise DistributionError("basis parts are inconsistent; not saving")
+    return save_block_array(directory, block, name=name)
+
+
+def load_basis_states(
+    directory, cluster: Cluster, template, name: str = "basis"
+) -> DistributedBasis:
+    """Rebuild a :class:`DistributedBasis` from a saved representative list.
+
+    ``template`` is the physics description (the same object passed to
+    :func:`~repro.distributed.enumeration.enumerate_states`); the target
+    cluster may differ from the writer's.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
+    flat = [
+        np.load(directory / f"{name}.{locale}.npy")
+        for locale in range(manifest["n_locales"])
+    ]
+    states = np.concatenate(flat)
+    block = BlockArray.from_global(cluster, states)
+    masks = BlockArray.from_global(
+        cluster, locale_of(states, cluster.n_locales)
+    )
+    parts, _ = block_to_hashed(block, masks)
+    return DistributedBasis(cluster, template, parts)
+
+
+def load_distributed_vector(
+    directory, basis: DistributedBasis, name: str = "vector"
+) -> DistributedVector:
+    """Load a vector saved by :func:`save_distributed_vector`.
+
+    The target cluster may have a different locale count than the writer:
+    the block file is re-read into the current block distribution and
+    converted to the hashed distribution of ``basis``.
+    """
+    directory = Path(directory)
+    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
+    if manifest["global_length"] != basis.dim:
+        raise DistributionError(
+            f"vector on disk has length {manifest['global_length']}, "
+            f"basis has dimension {basis.dim}"
+        )
+    writer_locales = manifest["n_locales"]
+    flat = []
+    for locale in range(writer_locales):
+        flat.append(np.load(directory / f"{name}.{locale}.npy"))
+    block = BlockArray.from_global(basis.cluster, np.concatenate(flat))
+    _, masks = _basis_masks(basis)
+    parts, _ = block_to_hashed(block, masks)
+    return DistributedVector(basis, parts)

@@ -1,0 +1,31 @@
+"""Krylov-subspace eigensolvers and propagators on top of the matvec.
+
+Exact diagonalization reduces to repeated matrix-vector products inside a
+Krylov method (the paper cites Lanczos/Arnoldi, FTLM, PRIMME); this package
+provides a Lanczos eigensolver with selective reorthogonalization and a
+Krylov time-evolution propagator, both generic over a *vector space*
+abstraction so they run unchanged on NumPy vectors or on the simulated
+cluster's :class:`~repro.distributed.vector.DistributedVector`.
+"""
+
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.lanczos import LanczosResult, lanczos, lanczos_distributed
+from repro.linalg.expm import expm_krylov
+from repro.linalg.ftlm import ThermalEstimate, ftlm_thermal
+from repro.linalg.spectral import SpectralFunction, spectral_function
+from repro.linalg.davidson import DavidsonResult, davidson
+
+__all__ = [
+    "VectorSpace",
+    "NumpyVectorSpace",
+    "LanczosResult",
+    "lanczos",
+    "lanczos_distributed",
+    "expm_krylov",
+    "ThermalEstimate",
+    "ftlm_thermal",
+    "SpectralFunction",
+    "spectral_function",
+    "DavidsonResult",
+    "davidson",
+]

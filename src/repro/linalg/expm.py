@@ -1,0 +1,89 @@
+"""Krylov-subspace propagator: ``y = exp(scale * H) v``.
+
+Used for real-time quench dynamics (``scale = -1j * dt``) and imaginary-time
+projection (``scale = -dt``) in the examples.  Builds an ``m``-step Lanczos
+basis from ``v`` and exponentiates the small tridiagonal projection — the
+standard short-iterate Krylov propagator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import expm as dense_expm
+
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+
+__all__ = ["expm_krylov"]
+
+
+def expm_krylov(
+    matvec,
+    v,
+    scale: complex,
+    krylov_dim: int = 30,
+    tol: float = 1e-12,
+    space: VectorSpace | None = None,
+):
+    """Apply ``exp(scale * H)`` to ``v`` through a Lanczos subspace.
+
+    ``H`` must be Hermitian (only Hermitian operators arise here; ``scale``
+    carries any imaginary factor).  Iteration stops early when the Krylov
+    residue ``beta`` underflows ``tol``.
+    """
+    if space is None:
+        space = NumpyVectorSpace()
+    norm_v = space.norm(v)
+    if norm_v == 0.0:
+        return space.copy(v)
+    w = space.copy(v)
+    space.scale(1.0 / norm_v, w)
+    basis = [w]
+    alphas: list[float] = []
+    betas: list[float] = []
+    for _ in range(krylov_dim):
+        u = matvec(basis[-1])
+        alpha = space.dot(basis[-1], u)
+        alphas.append(float(np.real(alpha)))
+        space.axpy(-alpha, basis[-1], u)
+        if len(basis) > 1:
+            space.axpy(-betas[-1], basis[-2], u)
+        # One full reorthogonalization pass keeps the small basis clean.
+        for b in basis:
+            overlap = space.dot(b, u)
+            if overlap != 0.0:
+                space.axpy(-overlap, b, u)
+        beta = space.norm(u)
+        if beta <= tol:
+            break
+        betas.append(float(beta))
+        space.scale(1.0 / beta, u)
+        basis.append(u)
+
+    m = len(alphas)
+    t = np.zeros((m, m), dtype=np.float64)
+    t[np.arange(m), np.arange(m)] = alphas
+    if m > 1:
+        off = np.asarray(betas[: m - 1])
+        t[np.arange(m - 1), np.arange(1, m)] = off
+        t[np.arange(1, m), np.arange(m - 1)] = off
+    coeffs = dense_expm(scale * t)[:, 0] * norm_v
+
+    out = space.zeros_like(v)
+    if np.iscomplexobj(coeffs):
+        out = _promote_complex(out)
+    for coeff, b in zip(coeffs, basis):
+        space.axpy(coeff, b, out)
+    return out
+
+
+def _promote_complex(x):
+    """A complex-dtype zero container of the same shape/type as ``x``."""
+    if isinstance(x, np.ndarray):
+        return x.astype(np.complex128)
+    from repro.distributed.vector import DistributedVector
+
+    if isinstance(x, DistributedVector):
+        return DistributedVector(
+            x.basis, [p.astype(np.complex128) for p in x.parts]
+        )
+    raise TypeError(f"cannot promote {type(x)!r} to complex")

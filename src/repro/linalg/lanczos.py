@@ -1,0 +1,178 @@
+"""Lanczos eigensolver with full reorthogonalization.
+
+The standard workhorse of exact diagonalization: builds an orthonormal
+Krylov basis ``V`` and the tridiagonal projection ``T`` of the (Hermitian)
+operator, diagonalizes ``T``, and monitors Ritz-residual convergence.  The
+implementation is generic over a :class:`~repro.linalg.spaces.VectorSpace`,
+so the same code drives NumPy vectors and simulated-cluster
+:class:`~repro.distributed.vector.DistributedVector` objects (the latter via
+:func:`lanczos_distributed`, which also returns the simulated time spent in
+matvecs and reductions).
+
+At paper scale one would avoid storing the full Krylov basis (restarting or
+two-pass schemes); storing it is fine at the problem sizes this
+reproduction runs for real, and is called out here so the difference from
+the production code is explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.linalg import eigh_tridiagonal
+
+from repro.errors import ConvergenceError
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+
+__all__ = ["LanczosResult", "lanczos", "lanczos_distributed"]
+
+
+@dataclass
+class LanczosResult:
+    """Eigenvalues, optional eigenvectors, and convergence diagnostics."""
+
+    eigenvalues: np.ndarray
+    eigenvectors: list | None
+    n_iterations: int
+    residuals: np.ndarray
+    converged: bool
+    alphas: np.ndarray = field(repr=False, default=None)
+    betas: np.ndarray = field(repr=False, default=None)
+
+
+def lanczos(
+    matvec,
+    v0,
+    k: int = 1,
+    max_iter: int = 300,
+    tol: float = 1e-10,
+    space: VectorSpace | None = None,
+    compute_eigenvectors: bool = False,
+    reorthogonalize: bool = True,
+    raise_on_no_convergence: bool = True,
+) -> LanczosResult:
+    """Lowest ``k`` eigenpairs of a Hermitian operator.
+
+    Parameters
+    ----------
+    matvec:
+        Callable ``v -> H v`` returning a *new* vector of the same type.
+    v0:
+        Starting vector (not modified); should have a component along the
+        sought eigenvectors — a random vector is the usual choice.
+    k:
+        Number of lowest eigenvalues to converge.
+    tol:
+        Convergence threshold on the Ritz residual estimate
+        ``|beta_m * s_last|`` for each of the ``k`` lowest Ritz pairs.
+    reorthogonalize:
+        Re-orthogonalize each new Krylov vector against all previous ones
+        (classical Gram-Schmidt, twice).  Without it, "ghost" copies of
+        converged eigenvalues appear — demonstrated in the tests.
+    """
+    if space is None:
+        space = NumpyVectorSpace()
+    norm0 = space.norm(v0)
+    if norm0 == 0.0:
+        raise ValueError("starting vector must be non-zero")
+
+    v = space.copy(v0)
+    space.scale(1.0 / norm0, v)
+    basis = [v]
+    alphas: list[float] = []
+    betas: list[float] = []
+    eigenvalues = None
+    residuals = np.array([np.inf] * k)
+    converged = False
+    n_iter = 0
+
+    for n_iter in range(1, max_iter + 1):
+        w = matvec(basis[-1])
+        alpha = space.dot(basis[-1], w)
+        alphas.append(float(np.real(alpha)))
+        space.axpy(-alpha, basis[-1], w)
+        if len(basis) > 1:
+            space.axpy(-betas[-1], basis[-2], w)
+        if reorthogonalize:
+            for _ in range(2):
+                for u in basis:
+                    overlap = space.dot(u, w)
+                    if overlap != 0.0:
+                        space.axpy(-overlap, u, w)
+        beta = space.norm(w)
+
+        m = len(alphas)
+        if m >= k:
+            evals, evecs = eigh_tridiagonal(
+                np.asarray(alphas), np.asarray(betas[: m - 1])
+            )
+            eigenvalues = evals[:k]
+            residuals = np.abs(beta * evecs[-1, :k])
+            if np.all(residuals <= tol * max(1.0, float(np.abs(evals).max()))):
+                converged = True
+                break
+        if beta <= 1e-14:
+            # Invariant subspace found: everything representable converged.
+            converged = eigenvalues is not None and len(alphas) >= k
+            break
+        betas.append(float(beta))
+        space.scale(1.0 / beta, w)
+        basis.append(w)
+
+    if eigenvalues is None:
+        raise ConvergenceError(
+            f"Krylov space of dimension {len(alphas)} is smaller than k={k}"
+        )
+    if not converged and raise_on_no_convergence:
+        raise ConvergenceError(
+            f"Lanczos did not converge in {max_iter} iterations "
+            f"(residuals {residuals})"
+        )
+
+    eigenvectors = None
+    if compute_eigenvectors:
+        m = len(alphas)
+        evals, evecs = eigh_tridiagonal(
+            np.asarray(alphas), np.asarray(betas[: m - 1])
+        )
+        eigenvectors = []
+        for j in range(k):
+            vec = space.zeros_like(v0)
+            for coeff, u in zip(evecs[:, j], basis):
+                space.axpy(coeff, u, vec)
+            eigenvectors.append(vec)
+    return LanczosResult(
+        eigenvalues=np.asarray(eigenvalues),
+        eigenvectors=eigenvectors,
+        n_iterations=n_iter,
+        residuals=residuals,
+        converged=converged,
+        alphas=np.asarray(alphas),
+        betas=np.asarray(betas),
+    )
+
+
+def lanczos_distributed(
+    operator,
+    k: int = 1,
+    seed: int = 0,
+    **kwargs,
+) -> tuple[LanczosResult, float]:
+    """Run Lanczos on a :class:`~repro.distributed.operator.DistributedOperator`.
+
+    Returns ``(result, simulated_seconds)`` where the time covers all
+    matvecs plus the dot-product allreduces — i.e. the full simulated cost
+    of the eigensolve on the cluster.
+    """
+    from repro.distributed.vector import (
+        DistributedVector,
+        DistributedVectorSpace,
+    )
+
+    space = DistributedVectorSpace(operator.basis)
+    v0 = DistributedVector.full_random(operator.basis, seed=seed)
+    start_matvec = operator.total_sim_time
+    result = lanczos(operator.matvec, v0, k=k, space=space, **kwargs)
+    sim_time = (operator.total_sim_time - start_matvec) + space.report.elapsed
+    return result, sim_time

@@ -1,0 +1,68 @@
+"""Vector-space abstraction for the Krylov solvers.
+
+The solvers never touch vector internals: they only need inner products,
+scaled updates, and fresh vectors.  :class:`NumpyVectorSpace` is the plain
+in-memory implementation;
+:class:`repro.distributed.vector.DistributedVectorSpace` plus the adapter in
+:mod:`repro.linalg.lanczos` provide the distributed one, where every ``dot``
+carries a simulated allreduce.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["VectorSpace", "NumpyVectorSpace"]
+
+
+@runtime_checkable
+class VectorSpace(Protocol):
+    """What a Krylov method needs from a vector type ``V``."""
+
+    def dot(self, x, y) -> complex: ...
+
+    def norm(self, x) -> float: ...
+
+    def axpy(self, alpha, x, y) -> None:
+        """``y += alpha * x`` in place."""
+
+    def scale(self, alpha, x) -> None:
+        """``x *= alpha`` in place."""
+
+    def copy(self, x): ...
+
+    def zeros_like(self, x): ...
+
+    def random(self, like, seed: int): ...
+
+
+class NumpyVectorSpace:
+    """The trivial vector space over 1-D NumPy arrays."""
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> complex:
+        value = np.vdot(x, y)
+        return float(value.real) if x.dtype.kind != "c" else complex(value)
+
+    def norm(self, x: np.ndarray) -> float:
+        return float(np.linalg.norm(x))
+
+    def axpy(self, alpha, x: np.ndarray, y: np.ndarray) -> None:
+        y += alpha * x
+
+    def scale(self, alpha, x: np.ndarray) -> None:
+        x *= alpha
+
+    def copy(self, x: np.ndarray) -> np.ndarray:
+        return x.copy()
+
+    def zeros_like(self, x: np.ndarray) -> np.ndarray:
+        return np.zeros_like(x)
+
+    def random(self, like: np.ndarray, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        out = rng.standard_normal(like.shape[0])
+        if like.dtype.kind == "c":
+            out = out + 1j * rng.standard_normal(like.shape[0])
+        return out.astype(like.dtype)

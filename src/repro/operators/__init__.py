@@ -1,0 +1,75 @@
+"""Symbolic spin operators and their compilation to matrix-free kernels.
+
+The paper's package compiles symbolic Hamiltonian expressions (written in
+Haskell) into low-level batched kernels (generated with Halide).  Here the
+same pipeline is: :class:`~repro.operators.expression.Expression` (a spin-1/2
+operator algebra) -> :func:`~repro.operators.compile_expression` (expansion
+into canonical ``(mask, pattern, flip, coeff)`` primitives) ->
+:mod:`~repro.operators.kernels` (vectorized ``getManyRows``).
+"""
+
+from repro.operators.expression import (
+    Expression,
+    identity,
+    number,
+    sigma_minus,
+    sigma_plus,
+    sigma_x,
+    sigma_y,
+    sigma_z,
+    spin_minus,
+    spin_plus,
+    spin_x,
+    spin_y,
+    spin_z,
+)
+from repro.operators.compile import CompiledOperator, compile_expression
+from repro.operators.kernels import get_many_rows
+from repro.operators.hamiltonians import (
+    heisenberg,
+    heisenberg_chain,
+    xxz_chain,
+    transverse_field_ising,
+    j1j2_chain,
+    heisenberg_square,
+)
+from repro.operators.matrix import operator_to_dense, operator_to_sparse
+from repro.operators.operator import Operator
+from repro.operators.observables import (
+    expectation,
+    spin_correlation,
+    symmetrize_expression,
+    transform_expression,
+)
+
+__all__ = [
+    "Expression",
+    "identity",
+    "number",
+    "sigma_plus",
+    "sigma_minus",
+    "sigma_x",
+    "sigma_y",
+    "sigma_z",
+    "spin_plus",
+    "spin_minus",
+    "spin_x",
+    "spin_y",
+    "spin_z",
+    "CompiledOperator",
+    "compile_expression",
+    "get_many_rows",
+    "heisenberg",
+    "heisenberg_chain",
+    "xxz_chain",
+    "transverse_field_ising",
+    "j1j2_chain",
+    "heisenberg_square",
+    "operator_to_dense",
+    "operator_to_sparse",
+    "Operator",
+    "expectation",
+    "spin_correlation",
+    "symmetrize_expression",
+    "transform_expression",
+]

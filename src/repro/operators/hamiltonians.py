@@ -1,0 +1,184 @@
+"""Predefined Hamiltonians.
+
+The paper benchmarks closed (periodic) chains of spin-1/2 particles with
+antiferromagnetic Heisenberg exchange; this module provides that model plus
+the standard variations used in the examples and tests.  All builders return
+plain :class:`~repro.operators.expression.Expression` objects, so custom
+models compose the same way ("Generic Hamiltonians" in the paper's Table 1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.operators.expression import (
+    Expression,
+    spin_minus,
+    spin_plus,
+    spin_x,
+    spin_z,
+)
+
+__all__ = [
+    "heisenberg",
+    "heisenberg_chain",
+    "xxz_chain",
+    "transverse_field_ising",
+    "j1j2_chain",
+    "heisenberg_square",
+    "chain_edges",
+    "square_lattice_edges",
+    "triangular_lattice_edges",
+    "kagome_12_edges",
+]
+
+
+def chain_edges(n_sites: int, periodic: bool = True, offset: int = 1) -> list[tuple[int, int]]:
+    """Edges of a chain connecting each site to the one ``offset`` away."""
+    if n_sites < 2:
+        return []
+    count = n_sites if periodic else n_sites - offset
+    return [(i, (i + offset) % n_sites) for i in range(max(count, 0))]
+
+
+def square_lattice_edges(nx: int, ny: int, periodic: bool = True) -> list[tuple[int, int]]:
+    """Nearest-neighbour edges of an ``nx x ny`` square lattice, row-major
+    site numbering (site ``(x, y)`` is ``y * nx + x``)."""
+    edges: list[tuple[int, int]] = []
+    for y in range(ny):
+        for x in range(nx):
+            site = y * nx + x
+            if periodic or x + 1 < nx:
+                if not (nx == 2 and periodic and x == 1):
+                    edges.append((site, y * nx + (x + 1) % nx))
+            if periodic or y + 1 < ny:
+                if not (ny == 2 and periodic and y == 1):
+                    edges.append((site, ((y + 1) % ny) * nx + x))
+    return edges
+
+
+def triangular_lattice_edges(nx: int, ny: int) -> list[tuple[int, int]]:
+    """Nearest-neighbour edges of an ``nx x ny`` periodic triangular lattice
+    (square lattice plus one diagonal per plaquette), row-major numbering."""
+    edges = list(square_lattice_edges(nx, ny, periodic=True))
+    seen = {tuple(sorted(e)) for e in edges}
+    for y in range(ny):
+        for x in range(nx):
+            site = y * nx + x
+            diag = ((y + 1) % ny) * nx + (x + 1) % nx
+            key = tuple(sorted((site, diag)))
+            if site != diag and key not in seen:
+                edges.append((site, diag))
+                seen.add(key)
+    return edges
+
+
+def kagome_12_edges() -> list[tuple[int, int]]:
+    """The 12-site kagome cluster (periodic), the lattice of the
+    large-scale ED studies the paper's introduction cites.
+
+    Sites are grouped in 4 up-triangles of 3 sites each (unit cells at the
+    corners of a 2x2 triangular lattice); corner-sharing produces the
+    down-triangles.  Every site has coordination number 4.
+    """
+    # unit cell c at (cx, cy) with cx, cy in {0, 1}; sublattices A, B, C.
+    def site(cx, cy, s):
+        return ((cy % 2) * 2 + (cx % 2)) * 3 + s
+
+    a, b, c = 0, 1, 2
+    edges = set()
+    for cx in range(2):
+        for cy in range(2):
+            # up triangle within the cell
+            edges.add(tuple(sorted((site(cx, cy, a), site(cx, cy, b)))))
+            edges.add(tuple(sorted((site(cx, cy, b), site(cx, cy, c)))))
+            edges.add(tuple(sorted((site(cx, cy, c), site(cx, cy, a)))))
+            # down triangles: B(cx,cy)-A(cx+1,cy), C(cx,cy)-A(cx,cy+1),
+            # B(cx,cy+1)-C(cx+1,cy)
+            edges.add(tuple(sorted((site(cx, cy, b), site(cx + 1, cy, a)))))
+            edges.add(tuple(sorted((site(cx, cy, c), site(cx, cy + 1, a)))))
+            edges.add(tuple(sorted((site(cx, cy + 1, b), site(cx + 1, cy, c)))))
+    return sorted(edges)
+
+
+def _exchange(i: int, j: int, jz: float, jxy: float) -> Expression:
+    """Anisotropic exchange ``jz Sz_i Sz_j + jxy/2 (S+_i S-_j + S-_i S+_j)``."""
+    term = jz * (spin_z(i) * spin_z(j))
+    if jxy != 0.0:
+        term = term + 0.5 * jxy * (
+            spin_plus(i) * spin_minus(j) + spin_minus(i) * spin_plus(j)
+        )
+    return term
+
+
+def heisenberg(
+    edges: Iterable[tuple[int, int]],
+    coupling: float | Sequence[float] = 1.0,
+) -> Expression:
+    """Heisenberg model ``sum_{(i,j)} J_ij S_i . S_j`` on arbitrary edges.
+
+    ``coupling`` may be a scalar or a per-edge sequence.  Positive coupling
+    is antiferromagnetic (the paper's convention).
+    """
+    edges = list(edges)
+    if isinstance(coupling, (int, float)):
+        coupling = [float(coupling)] * len(edges)
+    if len(coupling) != len(edges):
+        raise ValueError("need one coupling per edge")
+    h = Expression()
+    for (i, j), jij in zip(edges, coupling):
+        h = h + _exchange(i, j, jz=jij, jxy=jij)
+    return h
+
+
+def heisenberg_chain(
+    n_sites: int, coupling: float = 1.0, periodic: bool = True
+) -> Expression:
+    """The paper's test Hamiltonian: the antiferromagnetic Heisenberg chain
+    with periodic boundary conditions."""
+    return heisenberg(chain_edges(n_sites, periodic), coupling)
+
+
+def xxz_chain(
+    n_sites: int, jz: float, jxy: float = 1.0, periodic: bool = True
+) -> Expression:
+    """XXZ chain: anisotropic exchange with ``jz`` along z and ``jxy`` in
+    the xy plane."""
+    h = Expression()
+    for i, j in chain_edges(n_sites, periodic):
+        h = h + _exchange(i, j, jz=jz, jxy=jxy)
+    return h
+
+
+def transverse_field_ising(
+    n_sites: int, coupling: float = 1.0, field: float = 1.0, periodic: bool = True
+) -> Expression:
+    """Transverse-field Ising chain ``-J sum Sz_i Sz_{i+1} - h sum Sx_i``.
+
+    Does *not* conserve magnetization — use it with the full basis
+    (``hamming_weight=None``).
+    """
+    h = Expression()
+    for i, j in chain_edges(n_sites, periodic):
+        h = h - coupling * (spin_z(i) * spin_z(j))
+    for i in range(n_sites):
+        h = h - field * spin_x(i)
+    return h
+
+
+def j1j2_chain(
+    n_sites: int, j1: float = 1.0, j2: float = 0.5, periodic: bool = True
+) -> Expression:
+    """Frustrated chain with nearest (``j1``) and next-nearest (``j2``)
+    neighbour Heisenberg exchange."""
+    h = heisenberg(chain_edges(n_sites, periodic, offset=1), j1)
+    if j2 != 0.0:
+        h = h + heisenberg(chain_edges(n_sites, periodic, offset=2), j2)
+    return h
+
+
+def heisenberg_square(
+    nx: int, ny: int, coupling: float = 1.0, periodic: bool = True
+) -> Expression:
+    """Heisenberg model on an ``nx x ny`` square lattice."""
+    return heisenberg(square_lattice_edges(nx, ny, periodic), coupling)

@@ -1,0 +1,91 @@
+"""Dense / sparse matrix export of compiled operators.
+
+These exist for validation and for small-system workflows: the paper's point
+is precisely that at scale one *cannot* store the matrix, so everything in
+:mod:`repro.distributed` is matrix-free.  The dense builder is nevertheless
+the independent reference implementation every matvec is tested against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.basis.spin_basis import Basis
+from repro.operators.compile import CompiledOperator
+from repro.operators.kernels import get_many_rows
+
+__all__ = ["operator_to_dense", "operator_to_sparse", "expression_to_dense"]
+
+_CHUNK = 1 << 14
+
+
+def _column_entries(op: CompiledOperator, basis: Basis):
+    """Yield ``(rows, cols, values)`` triples covering the whole matrix."""
+    states = basis.states
+    scale = basis.source_scale
+    for start in range(0, states.size, _CHUNK):
+        alphas = states[start : start + _CHUNK]
+        cols = np.arange(start, start + alphas.size, dtype=np.int64)
+        diag = op.diagonal_values(alphas)
+        yield cols, cols, diag
+        chunk_scale = None if scale is None else scale[cols]
+        sources, members, amplitudes = get_many_rows(
+            op, basis, alphas, chunk_scale
+        )
+        if sources.size:
+            rows = basis.index(members)
+            yield rows, cols[sources], amplitudes
+
+
+def operator_to_dense(op: CompiledOperator, basis: Basis) -> np.ndarray:
+    """Materialize the operator as a dense matrix in the given basis."""
+    dtype = np.float64 if (basis.is_real and op.is_real) else np.complex128
+    h = np.zeros((basis.dim, basis.dim), dtype=dtype)
+    for rows, cols, values in _column_entries(op, basis):
+        np.add.at(h, (rows, cols), values.astype(dtype))
+    return h
+
+
+def operator_to_sparse(op: CompiledOperator, basis: Basis) -> sp.csr_matrix:
+    """Materialize the operator as a SciPy CSR matrix in the given basis."""
+    dtype = np.float64 if (basis.is_real and op.is_real) else np.complex128
+    rows_all: list[np.ndarray] = []
+    cols_all: list[np.ndarray] = []
+    vals_all: list[np.ndarray] = []
+    for rows, cols, values in _column_entries(op, basis):
+        rows_all.append(rows)
+        cols_all.append(cols)
+        vals_all.append(values.astype(dtype))
+    if not rows_all:
+        return sp.csr_matrix((basis.dim, basis.dim), dtype=dtype)
+    matrix = sp.coo_matrix(
+        (
+            np.concatenate(vals_all),
+            (np.concatenate(rows_all), np.concatenate(cols_all)),
+        ),
+        shape=(basis.dim, basis.dim),
+        dtype=dtype,
+    )
+    return matrix.tocsr()
+
+
+def expression_to_dense(expression, n_sites: int) -> np.ndarray:
+    """Brute-force dense matrix of an expression via Kronecker products.
+
+    Completely independent of the compiled-kernel machinery (it multiplies
+    2x2 factors into ``2**n x 2**n`` matrices), so it serves as the ground
+    truth in the tests.  Site ``i`` is bit ``i``, i.e. the *fastest* varying
+    tensor factor.
+    """
+    dim = 1 << n_sites
+    h = np.zeros((dim, dim), dtype=np.complex128)
+    eye = np.eye(2, dtype=np.complex128)
+    for term, coeff in expression.terms.items():
+        factors = expression.site_matrices(term)
+        full = np.array([[1.0 + 0.0j]])
+        # Build kron from the highest site down so bit i varies fastest.
+        for site in range(n_sites - 1, -1, -1):
+            full = np.kron(full, factors.get(site, eye))
+        h += coeff * full
+    return h

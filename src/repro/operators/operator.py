@@ -1,0 +1,140 @@
+"""The single-node matrix-free operator (basis + compiled kernels).
+
+This is the serial reference implementation of the matrix-vector product:
+its distributed counterparts live in :mod:`repro.distributed` and are all
+validated against it.  The structure mirrors the paper's Sec. 5.3: iterate
+over source states (columns), generate matrix elements with ``getManyRows``,
+and scatter-add into the destination vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.basis.spin_basis import Basis
+from repro.errors import CompilationError
+from repro.operators.compile import compile_expression
+from repro.operators.expression import Expression
+from repro.operators.kernels import get_many_rows
+from repro.operators.matrix import operator_to_dense, operator_to_sparse
+
+__all__ = ["Operator"]
+
+#: Number of source states processed per batch (the serial analogue of the
+#: paper's getManyRows chunking).
+DEFAULT_BATCH_SIZE = 1 << 14
+
+
+class Operator:
+    """A Hermitian operator acting on vectors in a given basis.
+
+    Parameters
+    ----------
+    expression:
+        Symbolic operator; it should commute with the basis symmetries
+        (checked for U(1), asserted in tests for the lattice symmetries).
+    basis:
+        Any :class:`~repro.basis.Basis`.
+    batch_size:
+        How many source states to process per kernel call.
+    """
+
+    def __init__(
+        self,
+        expression: Expression,
+        basis: Basis,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        self.basis = basis
+        self.compiled = compile_expression(expression, basis.n_sites)
+        if (
+            basis.hamming_weight is not None
+            and not self.compiled.conserves_magnetization
+        ):
+            raise CompilationError(
+                "operator does not conserve magnetization but the basis has "
+                "a fixed Hamming weight; use hamming_weight=None"
+            )
+        self.batch_size = int(batch_size)
+        self._diagonal: np.ndarray | None = None
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def expression(self) -> Expression:
+        return self.compiled.expression
+
+    @property
+    def dim(self) -> int:
+        return self.basis.dim
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.dim, self.dim)
+
+    @property
+    def dtype(self) -> np.dtype:
+        real = self.basis.is_real and self.compiled.is_real
+        return np.dtype(np.float64 if real else np.complex128)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Operator(dim={self.dim}, dtype={self.dtype})"
+
+    # -- matrix-free product ----------------------------------------------------
+
+    def diagonal(self) -> np.ndarray:
+        """The matrix diagonal (cached)."""
+        if self._diagonal is None:
+            states = self.basis.states
+            self._diagonal = self.compiled.diagonal_values(states).astype(
+                self.dtype
+            )
+        return self._diagonal
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Serial reference ``y = H x``."""
+        x = np.asarray(x)
+        if x.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},)")
+        dtype = np.promote_types(self.dtype, x.dtype)
+        y = self.diagonal().astype(dtype) * x
+        states = self.basis.states
+        scale = self.basis.source_scale
+        for start in range(0, states.size, self.batch_size):
+            alphas = states[start : start + self.batch_size]
+            batch_scale = (
+                None if scale is None else scale[start : start + alphas.size]
+            )
+            sources, members, amplitudes = get_many_rows(
+                self.compiled, self.basis, alphas, batch_scale
+            )
+            if sources.size == 0:
+                continue
+            rows = self.basis.index(members)
+            np.add.at(y, rows, amplitudes * x[start + sources])
+        return y
+
+    def __matmul__(self, x):
+        if isinstance(x, np.ndarray):
+            return self.matvec(x)
+        return NotImplemented
+
+    def expectation(self, x: np.ndarray) -> complex:
+        """``<x|H|x> / <x|x>``."""
+        x = np.asarray(x)
+        return np.vdot(x, self.matvec(x)) / np.vdot(x, x)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dense(self) -> np.ndarray:
+        return operator_to_dense(self.compiled, self.basis)
+
+    def to_sparse(self):
+        return operator_to_sparse(self.compiled, self.basis)
+
+    def as_linear_operator(self) -> spla.LinearOperator:
+        """A SciPy ``LinearOperator`` view (for ``eigsh`` etc.)."""
+        return spla.LinearOperator(
+            shape=self.shape, matvec=self.matvec, dtype=self.dtype
+        )

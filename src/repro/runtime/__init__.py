@@ -1,0 +1,47 @@
+"""Simulated PGAS runtime: locales, network model, discrete-event simulator.
+
+The paper runs on Chapel locales over 100 Gb/s InfiniBand.  Here a
+:class:`~repro.runtime.cluster.Cluster` of locales lives inside one Python
+process: distributed arrays hold *real* per-locale NumPy data (so all
+algorithms are correctness-testable), while time is accounted by
+
+- a LogGP-style :class:`~repro.runtime.machine.NetworkModel` /
+  :class:`~repro.runtime.machine.MachineModel` (latency, message-size
+  dependent bandwidth, per-element kernel rates calibrated to the paper's
+  Sec. 6 measurements),
+- a :class:`~repro.runtime.clock.BSPTimer` for phase-structured algorithms
+  (conversions, enumeration), and
+- a :class:`~repro.runtime.events.Simulator` — a discrete-event simulator
+  with tasks, flags, queues and resources — for the asynchronous
+  producer-consumer matvec (Sec. 5.3).
+"""
+
+from repro.runtime.machine import MachineModel, NetworkModel, snellius_machine, laptop_machine
+from repro.runtime.clock import BSPTimer, CostLedger, SimReport
+from repro.runtime.cluster import Cluster, Locale
+from repro.runtime.events import (
+    Acquire,
+    Pop,
+    Simulator,
+    Timeout,
+    WaitFlag,
+)
+from repro.runtime.mpi import SimMPI
+
+__all__ = [
+    "MachineModel",
+    "NetworkModel",
+    "snellius_machine",
+    "laptop_machine",
+    "BSPTimer",
+    "CostLedger",
+    "SimReport",
+    "Cluster",
+    "Locale",
+    "Simulator",
+    "Timeout",
+    "WaitFlag",
+    "Pop",
+    "Acquire",
+    "SimMPI",
+]

@@ -1,0 +1,260 @@
+"""A small discrete-event simulator with tasks, flags, queues and resources.
+
+This is the substrate on which the producer-consumer matrix-vector product
+(Sec. 5.3 of the paper) runs.  Chapel tasks become Python generators; the
+atomics used for the ``RemoteBuffer`` protocol become :class:`SimFlag`
+objects; the per-locale NIC becomes a :class:`SimResource` of capacity 1.
+
+A process is a generator that yields *commands*:
+
+``Timeout(dt)``
+    advance this process's local time by ``dt`` simulated seconds;
+``WaitFlag(flag, value)``
+    block until ``flag`` holds ``value`` (resumes immediately if it does);
+``Pop(queue)``
+    block until an item is available; the item is sent back into the
+    generator (``item = yield Pop(q)``);
+``Acquire(resource)``
+    block until one unit of the resource is available; the holder must call
+    ``resource.release()`` later.
+
+Between yields, processes run ordinary Python — this is where the *real*
+data movement of the simulated algorithms happens, so the simulation
+produces both correct results and simulated timings in one pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterator
+
+__all__ = [
+    "Simulator",
+    "SimFlag",
+    "SimQueue",
+    "SimResource",
+    "Timeout",
+    "WaitFlag",
+    "Pop",
+    "Acquire",
+    "Process",
+]
+
+ProcessGen = Generator[Any, Any, None]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    delay: float
+
+
+@dataclass(frozen=True)
+class WaitFlag:
+    flag: "SimFlag"
+    value: bool
+
+
+@dataclass(frozen=True)
+class Pop:
+    queue: "SimQueue"
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: "SimResource"
+
+
+class Process:
+    """Bookkeeping for one running generator."""
+
+    __slots__ = ("gen", "name", "finished")
+
+    def __init__(self, gen: ProcessGen, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.finished = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Process({self.name!r}, finished={self.finished})"
+
+
+class SimFlag:
+    """A simulated atomic boolean with waiters (Chapel ``atomic bool``)."""
+
+    __slots__ = ("_sim", "value", "_waiters")
+
+    def __init__(self, sim: "Simulator", value: bool = False) -> None:
+        self._sim = sim
+        self.value = value
+        self._waiters: dict[bool, list[tuple[Process, Any]]] = {
+            False: [],
+            True: [],
+        }
+
+    def set(self, value: bool) -> None:
+        """Write the flag and wake processes waiting for this value."""
+        self.value = value
+        waiters = self._waiters[value]
+        if waiters:
+            self._waiters[value] = []
+            for process, send_value in waiters:
+                self._sim._schedule(0.0, process, send_value)
+
+    def _wait(self, process: Process, value: bool) -> None:
+        if self.value == value:
+            self._sim._schedule(0.0, process, None)
+        else:
+            self._waiters[value].append((process, None))
+
+
+class SimQueue:
+    """An unbounded FIFO queue with blocking pop."""
+
+    __slots__ = ("_sim", "_items", "_waiters")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._items: deque = deque()
+        self._waiters: deque[Process] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> None:
+        if self._waiters:
+            process = self._waiters.popleft()
+            self._sim._schedule(0.0, process, item)
+        else:
+            self._items.append(item)
+
+    def _pop(self, process: Process) -> None:
+        if self._items:
+            self._sim._schedule(0.0, process, self._items.popleft())
+        else:
+            self._waiters.append(process)
+
+
+class SimResource:
+    """A counted resource with FIFO waiters (e.g. a NIC port)."""
+
+    __slots__ = ("_sim", "capacity", "in_use", "_waiters")
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        self._sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Process] = deque()
+
+    def _acquire(self, process: Process) -> None:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self._sim._schedule(0.0, process, None)
+        else:
+            self._waiters.append(process)
+
+    def release(self) -> None:
+        if self._waiters:
+            process = self._waiters.popleft()
+            self._sim._schedule(0.0, process, None)
+        else:
+            self.in_use -= 1
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        flag = sim.flag()
+        sim.spawn(producer(flag), name="producer")
+        sim.spawn(consumer(flag), name="consumer")
+        elapsed = sim.run()
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._sequence = 0
+        self._active = 0
+
+    # -- primitives -----------------------------------------------------------
+
+    def flag(self, value: bool = False) -> SimFlag:
+        return SimFlag(self, value)
+
+    def queue(self) -> SimQueue:
+        return SimQueue(self)
+
+    def resource(self, capacity: int = 1) -> SimResource:
+        return SimResource(self, capacity)
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, gen: ProcessGen | Iterator, name: str = "task") -> Process:
+        process = Process(gen, name)
+        self._active += 1
+        self._schedule(0.0, process, None)
+        return process
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` simulated seconds (fire-and-forget,
+        e.g. the arrival of a remote atomic write)."""
+
+        def _caller():
+            yield Timeout(delay)
+            fn()
+
+        self.spawn(_caller(), name="call_later")
+
+    def _schedule(self, delay: float, process: Process, value: Any) -> None:
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, process, value)
+        )
+
+    # -- event loop -----------------------------------------------------------
+
+    def _step(self, process: Process, value: Any) -> None:
+        try:
+            command = process.gen.send(value)
+        except StopIteration:
+            process.finished = True
+            self._active -= 1
+            return
+        if isinstance(command, Timeout):
+            self._schedule(max(command.delay, 0.0), process, None)
+        elif isinstance(command, WaitFlag):
+            command.flag._wait(process, command.value)
+        elif isinstance(command, Pop):
+            command.queue._pop(process)
+        elif isinstance(command, Acquire):
+            command.resource._acquire(process)
+        else:
+            raise TypeError(
+                f"process {process.name!r} yielded {command!r}; expected "
+                "Timeout, WaitFlag, Pop, or Acquire"
+            )
+
+    def run(self, until: float | None = None) -> float:
+        """Run until no events remain (or ``until`` is reached).
+
+        Returns the final simulated time.  Raises ``RuntimeError`` if
+        processes remain blocked with an empty event heap (deadlock).
+        """
+        while self._heap:
+            time, _, process, value = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            self.now = time
+            self._step(process, value)
+        if self._active:
+            blocked = self._active
+            raise RuntimeError(
+                f"simulation deadlock: {blocked} process(es) still blocked "
+                "on flags/queues/resources with no pending events"
+            )
+        return self.now

@@ -1,0 +1,137 @@
+"""Site permutations with vectorized action on basis states."""
+
+from __future__ import annotations
+
+from functools import cached_property
+from math import lcm
+
+import numpy as np
+
+from repro.bits.ops import reverse_bits, rotate_left
+from repro.bits.permutations import apply_permutation_to_states
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """A permutation of ``n_sites`` lattice sites.
+
+    ``perm[i]`` is the site that site ``i`` is mapped to.  Acting on a basis
+    state moves bit ``i`` to bit ``perm[i]``.  Instances are immutable and
+    hashable so they can key group-closure dictionaries.
+    """
+
+    __slots__ = ("_perm", "__dict__")
+
+    def __init__(self, perm) -> None:
+        arr = np.asarray(perm, dtype=np.int64)
+        if arr.ndim != 1:
+            raise ValueError("a permutation must be a 1-D sequence of sites")
+        n = arr.size
+        if n == 0 or n > 64:
+            raise ValueError(f"number of sites must be in [1, 64], got {n}")
+        if not np.array_equal(np.sort(arr), np.arange(n)):
+            raise ValueError(f"not a permutation of range({n}): {arr.tolist()}")
+        arr.setflags(write=False)
+        self._perm = arr
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def sites(self) -> np.ndarray:
+        """The underlying mapping as a read-only ``int64`` array."""
+        return self._perm
+
+    @property
+    def n_sites(self) -> int:
+        return self._perm.size
+
+    def __len__(self) -> int:
+        return self._perm.size
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return np.array_equal(self._perm, other._perm)
+
+    def __hash__(self) -> int:
+        return hash(self._perm.tobytes())
+
+    def __repr__(self) -> str:
+        return f"Permutation({self._perm.tolist()})"
+
+    # -- group operations ----------------------------------------------------
+
+    @classmethod
+    def identity(cls, n_sites: int) -> "Permutation":
+        return cls(np.arange(n_sites))
+
+    def __matmul__(self, other: "Permutation") -> "Permutation":
+        """Composition ``self @ other``: apply ``other`` first, then ``self``.
+
+        ``(self @ other)(x) == self(other(x))`` for any basis state ``x``.
+        """
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if self.n_sites != other.n_sites:
+            raise ValueError("cannot compose permutations of different sizes")
+        # bit i -> other[i] -> self[other[i]]
+        return Permutation(self._perm[other._perm])
+
+    def inverse(self) -> "Permutation":
+        inv = np.empty_like(self._perm)
+        inv[self._perm] = np.arange(self.n_sites)
+        return Permutation(inv)
+
+    @cached_property
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self._perm, np.arange(self.n_sites)))
+
+    @cached_property
+    def cycle_lengths(self) -> tuple[int, ...]:
+        """Lengths of the disjoint cycles, in decreasing order."""
+        n = self.n_sites
+        seen = np.zeros(n, dtype=bool)
+        lengths: list[int] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            length = 0
+            j = start
+            while not seen[j]:
+                seen[j] = True
+                j = int(self._perm[j])
+                length += 1
+            lengths.append(length)
+        return tuple(sorted(lengths, reverse=True))
+
+    @cached_property
+    def order(self) -> int:
+        """Smallest ``m >= 1`` with ``perm^m == identity``."""
+        return lcm(*self.cycle_lengths)
+
+    # -- action on basis states -----------------------------------------------
+
+    @cached_property
+    def _rotation_amount(self) -> int | None:
+        """If this permutation is ``i -> (i+k) % n``, the ``k``; else None."""
+        n = self.n_sites
+        k = int(self._perm[0])
+        if np.array_equal(self._perm, (np.arange(n) + k) % n):
+            return k
+        return None
+
+    @cached_property
+    def _is_reversal(self) -> bool:
+        n = self.n_sites
+        return bool(np.array_equal(self._perm, np.arange(n - 1, -1, -1)))
+
+    def __call__(self, states) -> np.ndarray:
+        """Apply the permutation to a batch of basis states (vectorized)."""
+        n = self.n_sites
+        k = self._rotation_amount
+        if k is not None:
+            return rotate_left(states, k, n)
+        if self._is_reversal:
+            return reverse_bits(states, n)
+        return apply_permutation_to_states(self._perm, states)

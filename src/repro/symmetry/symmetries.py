@@ -1,0 +1,96 @@
+"""Factories for common lattice symmetries.
+
+These build the :class:`~repro.symmetry.group.Symmetry` generators used in
+the paper's evaluation: translation, reflection, and spin inversion of a
+closed spin chain, plus translations of a rectangular lattice for
+two-dimensional systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.symmetry.group import Symmetry, SymmetryGroup
+from repro.symmetry.permutation import Permutation
+
+__all__ = [
+    "translation",
+    "reflection",
+    "spin_inversion",
+    "chain_symmetries",
+    "rectangle_translation",
+]
+
+
+def translation(n_sites: int, sector: int = 0) -> Symmetry:
+    """Translation by one site of a periodic chain (``i -> (i+1) % n``).
+
+    ``sector`` is the lattice momentum ``k``; the character of the generator
+    is ``exp(-2j*pi*k/n)``.
+    """
+    perm = Permutation((np.arange(n_sites) + 1) % n_sites)
+    return Symmetry(perm, sector=sector)
+
+
+def reflection(n_sites: int, sector: int = 0) -> Symmetry:
+    """Spatial reflection of a chain (``i -> n-1-i``).
+
+    ``sector`` 0 is even parity, 1 is odd parity.
+    """
+    perm = Permutation(np.arange(n_sites - 1, -1, -1))
+    return Symmetry(perm, sector=sector)
+
+
+def spin_inversion(n_sites: int, sector: int = 0) -> Symmetry:
+    """Global spin inversion (flip every spin).
+
+    ``sector`` 0 is the even sector, 1 the odd sector.  Only meaningful at
+    zero magnetization (Hamming weight ``n/2``), where inversion preserves
+    the U(1) constraint.
+    """
+    return Symmetry(Permutation.identity(n_sites), sector=sector, flip=True)
+
+
+def chain_symmetries(
+    n_sites: int,
+    momentum: int | None = 0,
+    parity: int | None = 0,
+    inversion: int | None = 0,
+) -> SymmetryGroup:
+    """The symmetry group of a closed chain used throughout the paper.
+
+    Combines translation (momentum sector ``momentum``), reflection (parity
+    ``parity``) and spin inversion (sector ``inversion``).  Pass ``None`` to
+    omit a symmetry.  Note that reflection maps momentum ``k`` to ``-k``, so
+    combining both is only consistent for ``k = 0`` or ``k = n/2``
+    (otherwise :class:`~repro.errors.InvalidSectorError` is raised).
+    """
+    generators: list[Symmetry] = []
+    if momentum is not None:
+        generators.append(translation(n_sites, sector=momentum))
+    if parity is not None:
+        generators.append(reflection(n_sites, sector=parity))
+    if inversion is not None:
+        generators.append(spin_inversion(n_sites, sector=inversion))
+    if not generators:
+        return SymmetryGroup.trivial(n_sites)
+    return SymmetryGroup.from_generators(generators)
+
+
+def rectangle_translation(nx: int, ny: int, axis: int, sector: int = 0) -> Symmetry:
+    """Translation by one site along ``axis`` of an ``nx x ny`` periodic
+    rectangular lattice.
+
+    Sites are numbered row-major: site ``(x, y)`` is index ``y * nx + x``.
+    ``axis=0`` translates along x, ``axis=1`` along y.
+    """
+    if nx * ny > 64:
+        raise ValueError("at most 64 sites are supported")
+    x, y = np.meshgrid(np.arange(nx), np.arange(ny))
+    if axis == 0:
+        dest = y * nx + (x + 1) % nx
+    elif axis == 1:
+        dest = ((y + 1) % ny) * nx + x
+    else:
+        raise ValueError("axis must be 0 or 1")
+    return Symmetry(Permutation(dest.ravel()), sector=sector)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster(3, laptop_machine(cores=4))
+
+
+@pytest.fixture
+def cluster4() -> Cluster:
+    return Cluster(4, laptop_machine(cores=4))
+
+
+@pytest.fixture
+def chain12_basis() -> repro.SymmetricBasis:
+    group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+    return repro.SymmetricBasis(group, hamming_weight=6)
+
+
+@pytest.fixture
+def chain12_operator(chain12_basis) -> repro.Operator:
+    return repro.Operator(repro.heisenberg_chain(12), chain12_basis)
+
+
+def random_state_batch(
+    rng: np.random.Generator, n_sites: int, size: int = 256
+) -> np.ndarray:
+    """Uniform random basis states on ``n_sites`` bits."""
+    return rng.integers(0, 1 << n_sites, size=size, dtype=np.uint64)

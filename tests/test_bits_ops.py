@@ -1,0 +1,235 @@
+"""Unit and property tests for the bit-manipulation kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits import (
+    as_states,
+    bit_mask,
+    clear_bit,
+    flip_all,
+    get_bit,
+    gosper_next,
+    interleave,
+    parity,
+    popcount,
+    reverse_bits,
+    rotate_left,
+    rotate_right,
+    set_bit,
+    states_with_weight,
+)
+
+states_st = st.integers(min_value=0, max_value=(1 << 64) - 1)
+width_st = st.integers(min_value=1, max_value=64)
+
+
+class TestAsStates:
+    def test_accepts_python_ints(self):
+        out = as_states([1, 2, 3])
+        assert out.dtype == np.uint64
+        assert out.tolist() == [1, 2, 3]
+
+    def test_accepts_uint64_passthrough(self):
+        arr = np.array([5], dtype=np.uint64)
+        assert as_states(arr) is arr
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            as_states([-1])
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            as_states([1.5])
+
+    def test_scalar_input(self):
+        assert int(as_states(7)) == 7
+
+
+class TestBitMask:
+    def test_zero(self):
+        assert int(bit_mask(0)) == 0
+
+    def test_full_width(self):
+        assert int(bit_mask(64)) == (1 << 64) - 1
+
+    @pytest.mark.parametrize("n", [1, 7, 13, 32, 63])
+    def test_values(self, n):
+        assert int(bit_mask(n)) == (1 << n) - 1
+
+    @pytest.mark.parametrize("n", [-1, 65])
+    def test_out_of_range(self, n):
+        with pytest.raises(ValueError):
+            bit_mask(n)
+
+
+class TestSingleBits:
+    def test_get_bit(self):
+        x = np.array([0b1010], dtype=np.uint64)
+        assert int(get_bit(x, 1)[0]) == 1
+        assert int(get_bit(x, 0)[0]) == 0
+
+    def test_set_clear_roundtrip(self):
+        x = np.array([0b1010], dtype=np.uint64)
+        assert int(clear_bit(set_bit(x, 0), 0)[0]) == 0b1010
+
+    def test_set_is_idempotent(self):
+        x = np.array([0b1], dtype=np.uint64)
+        assert np.array_equal(set_bit(x, 0), x)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        values = np.array([0, 1, 3, 0xFF, (1 << 64) - 1], dtype=np.uint64)
+        assert popcount(values).tolist() == [0, 1, 2, 8, 64]
+
+    @given(states_st)
+    def test_matches_python_bit_count(self, x):
+        assert int(popcount(np.uint64(x))) == x.bit_count()
+
+    @given(states_st)
+    def test_parity_is_popcount_mod_2(self, x):
+        assert int(parity(np.uint64(x))) == x.bit_count() % 2
+
+
+class TestRotations:
+    @given(states_st, width_st, st.integers(min_value=0, max_value=200))
+    def test_left_right_inverse(self, x, n, k):
+        x = np.uint64(x) & bit_mask(n)
+        assert rotate_right(rotate_left(x, k, n), k, n) == x
+
+    @given(states_st, width_st)
+    def test_full_rotation_is_identity(self, x, n):
+        x = np.uint64(x) & bit_mask(n)
+        assert rotate_left(x, n, n) == x
+
+    @given(states_st, width_st, st.integers(min_value=0, max_value=200))
+    def test_preserves_popcount(self, x, n, k):
+        x = np.uint64(x) & bit_mask(n)
+        assert int(popcount(rotate_left(x, k, n))) == int(popcount(x))
+
+    def test_matches_site_shift(self):
+        # bit i of input appears at bit (i+k) % n.
+        x = np.uint64(0b00101)
+        assert int(rotate_left(x, 2, 5)) == 0b10100
+
+    def test_wraps(self):
+        x = np.uint64(0b10000)
+        assert int(rotate_left(x, 1, 5)) == 0b00001
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            rotate_left(np.uint64(0), 1, 0)
+
+
+class TestReverseBits:
+    @given(states_st, width_st)
+    def test_involution(self, x, n):
+        x = np.uint64(x) & bit_mask(n)
+        assert reverse_bits(reverse_bits(x, n), n) == x
+
+    @given(states_st, width_st)
+    def test_preserves_popcount(self, x, n):
+        x = np.uint64(x) & bit_mask(n)
+        assert int(popcount(reverse_bits(x, n))) == int(popcount(x))
+
+    def test_known_value(self):
+        assert int(reverse_bits(np.uint64(0b00011), 5)) == 0b11000
+
+    @given(states_st, width_st)
+    def test_matches_string_reversal(self, x, n):
+        x = int(np.uint64(x) & bit_mask(n))
+        expected = int(f"{x:0{n}b}"[::-1], 2)
+        assert int(reverse_bits(np.uint64(x), n)) == expected
+
+
+class TestFlipAll:
+    @given(states_st, width_st)
+    def test_involution(self, x, n):
+        x = np.uint64(x) & bit_mask(n)
+        assert flip_all(flip_all(x, n), n) == x
+
+    @given(states_st, width_st)
+    def test_complements_popcount(self, x, n):
+        x = np.uint64(x) & bit_mask(n)
+        assert int(popcount(flip_all(x, n))) == n - int(popcount(x))
+
+
+class TestGosper:
+    def test_sequence(self):
+        # weight-2 states of 4 bits: 0011 -> 0101 -> 0110 -> 1001 -> 1010 -> 1100
+        seq = [0b0011]
+        for _ in range(5):
+            seq.append(int(gosper_next(np.uint64(seq[-1]))))
+        assert seq == [0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]
+
+    @given(st.integers(min_value=1, max_value=(1 << 32) - 1))
+    def test_preserves_popcount_and_increases(self, x):
+        y = int(gosper_next(np.uint64(x)))
+        assert y > x
+        assert y.bit_count() == x.bit_count()
+
+    def test_enumerates_same_set_as_recursion(self):
+        n, w = 8, 3
+        expected = states_with_weight(n, w)
+        got = [int(expected[0])]
+        for _ in range(expected.size - 1):
+            got.append(int(gosper_next(np.uint64(got[-1]))))
+        assert got == expected.tolist()
+
+
+class TestStatesWithWeight:
+    @pytest.mark.parametrize(
+        "n,w,count",
+        [(4, 2, 6), (6, 3, 20), (10, 5, 252), (12, 0, 1), (12, 12, 1), (5, 6, 0)],
+    )
+    def test_counts(self, n, w, count):
+        assert states_with_weight(n, w).size == count
+
+    @given(
+        st.integers(min_value=1, max_value=14),
+        st.integers(min_value=0, max_value=14),
+    )
+    def test_sorted_unique_and_correct_weight(self, n, w):
+        out = states_with_weight(n, w)
+        if w > n:
+            assert out.size == 0
+            return
+        assert np.all(np.diff(out.astype(np.int64)) > 0)
+        assert np.all(popcount(out) == w)
+
+    def test_matches_brute_force(self):
+        n, w = 10, 4
+        brute = np.array(
+            [x for x in range(1 << n) if x.bit_count() == w], dtype=np.uint64
+        )
+        assert np.array_equal(states_with_weight(n, w), brute)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            states_with_weight(-1, 0)
+
+
+class TestInterleave:
+    def test_simple(self):
+        out = interleave(np.uint64(0b11), np.uint64(0b00), 2)
+        assert int(out) == 0b0101
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_popcount_adds(self, a, b):
+        out = interleave(np.uint64(a), np.uint64(b), 8)
+        assert int(popcount(out)) == a.bit_count() + b.bit_count()
+
+    @given(
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_bits_land_in_even_odd_positions(self, a, b):
+        out = int(interleave(np.uint64(a), np.uint64(b), 8))
+        for i in range(8):
+            assert (out >> (2 * i)) & 1 == (a >> i) & 1
+            assert (out >> (2 * i + 1)) & 1 == (b >> i) & 1

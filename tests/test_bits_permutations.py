@@ -1,0 +1,102 @@
+"""Tests for applying site permutations to batches of basis states."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.bits import (
+    apply_permutation_to_states,
+    bit_mask,
+    permutation_masks,
+    popcount,
+    reverse_bits,
+    rotate_left,
+)
+
+
+def _random_perm(draw_data, n):
+    perm = list(range(n))
+    order = draw_data.draw(st.permutations(perm))
+    return np.array(order, dtype=np.int64)
+
+
+perm_st = st.integers(min_value=1, max_value=16).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+class TestPermutationMasks:
+    def test_identity_single_mask(self):
+        masks = permutation_masks(np.arange(8))
+        assert len(masks) == 1
+        assert masks[0][1] == 0
+        assert int(masks[0][0]) == 0xFF
+
+    def test_rotation_two_masks(self):
+        n = 8
+        perm = (np.arange(n) + 1) % n
+        masks = permutation_masks(perm)
+        # one group moves +1, one wraps by -(n-1)
+        assert len(masks) == 2
+
+    def test_masks_partition_all_sites(self):
+        perm = np.array([2, 0, 1, 3])
+        masks = permutation_masks(perm)
+        combined = 0
+        for mask, _ in masks:
+            assert combined & int(mask) == 0  # disjoint
+            combined |= int(mask)
+        assert combined == 0b1111
+
+
+class TestApplyPermutation:
+    @given(perm_st, st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_matches_per_bit_definition(self, perm, x):
+        n = len(perm)
+        x &= (1 << n) - 1
+        expected = 0
+        for i in range(n):
+            if (x >> i) & 1:
+                expected |= 1 << perm[i]
+        got = apply_permutation_to_states(np.array(perm), np.uint64(x))
+        assert int(got) == expected
+
+    @given(perm_st, st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_preserves_popcount(self, perm, x):
+        n = len(perm)
+        x = np.uint64(x) & bit_mask(n)
+        got = apply_permutation_to_states(np.array(perm), x)
+        assert int(popcount(got)) == int(popcount(x))
+
+    @given(perm_st)
+    def test_inverse_composition_is_identity(self, perm):
+        n = len(perm)
+        perm = np.array(perm)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(n)
+        states = np.arange(min(1 << n, 512), dtype=np.uint64)
+        once = apply_permutation_to_states(perm, states)
+        back = apply_permutation_to_states(inv, once)
+        assert np.array_equal(back, states)
+
+    def test_translation_matches_rotation(self):
+        n = 10
+        perm = (np.arange(n) + 1) % n
+        states = np.arange(1 << n, dtype=np.uint64)
+        assert np.array_equal(
+            apply_permutation_to_states(perm, states),
+            rotate_left(states, 1, n),
+        )
+
+    def test_reflection_matches_bit_reversal(self):
+        n = 9
+        perm = np.arange(n - 1, -1, -1)
+        states = np.arange(1 << n, dtype=np.uint64)
+        assert np.array_equal(
+            apply_permutation_to_states(perm, states),
+            reverse_bits(states, n),
+        )
+
+    def test_batch_shape_preserved(self):
+        perm = np.array([1, 0, 2])
+        states = np.zeros((4, 5), dtype=np.uint64)
+        assert apply_permutation_to_states(perm, states).shape == (4, 5)

@@ -1,0 +1,111 @@
+"""Tests for cost ledgers and bulk-synchronous phase timing."""
+
+import pytest
+
+from repro.runtime import BSPTimer, CostLedger, SimReport, laptop_machine
+
+
+class TestCostLedger:
+    def test_accumulates(self):
+        ledger = CostLedger(2)
+        ledger.add("gen", 0, 1.0)
+        ledger.add("gen", 0, 2.0)
+        ledger.add("gen", 1, 5.0)
+        assert ledger.total("gen") == pytest.approx(8.0)
+        assert ledger.max_over_locales("gen") == pytest.approx(5.0)
+
+    def test_unknown_phase_max_is_zero(self):
+        assert CostLedger(2).max_over_locales("nothing") == 0.0
+
+    def test_per_locale_is_copy(self):
+        ledger = CostLedger(2)
+        ledger.add("x", 0, 1.0)
+        arr = ledger.per_locale("x")
+        arr[0] = 99.0
+        assert ledger.total("x") == pytest.approx(1.0)
+
+    def test_table_renders(self):
+        ledger = CostLedger(2)
+        ledger.add("generate", 0, 1.0)
+        table = ledger.table()
+        assert "generate" in table
+
+
+class TestSimReport:
+    def test_mean_message_bytes(self):
+        report = SimReport(messages=4, bytes_sent=4096)
+        assert report.mean_message_bytes == 1024
+
+    def test_mean_message_bytes_no_messages(self):
+        assert SimReport().mean_message_bytes == 0.0
+
+    def test_merge_phase(self):
+        report = SimReport()
+        report.merge_phase("a", 1.0)
+        report.merge_phase("a", 2.0)
+        assert report.phase_elapsed["a"] == pytest.approx(3.0)
+
+    def test_summary_renders(self):
+        report = SimReport(elapsed=1.5, messages=3, bytes_sent=300)
+        report.merge_phase("phase-x", 1.5)
+        text = report.summary()
+        assert "phase-x" in text
+        assert "1.5" in text
+
+
+class TestBSPTimer:
+    def test_compute_only_phase(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=2)
+        timer.add_compute(0, 1.0)
+        timer.add_compute(1, 3.0)
+        elapsed = timer.end_phase("work")
+        assert elapsed == pytest.approx(3.0)  # max over locales
+        assert timer.report.elapsed == pytest.approx(3.0)
+
+    def test_phases_accumulate_sequentially(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=1)
+        timer.add_compute(0, 1.0)
+        timer.end_phase("a")
+        timer.add_compute(0, 2.0)
+        timer.end_phase("b")
+        assert timer.report.elapsed == pytest.approx(3.0)
+        assert timer.report.phase_elapsed == {
+            "a": pytest.approx(1.0),
+            "b": pytest.approx(2.0),
+        }
+
+    def test_message_charges_both_endpoints(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=3)
+        timer.add_message(0, 1, 1 << 20)
+        elapsed = timer.end_phase("comm")
+        expected = machine.network.transfer_time(1 << 20)
+        assert elapsed == pytest.approx(expected)
+        assert timer.report.messages == 1
+        assert timer.report.bytes_sent == 1 << 20
+
+    def test_local_message_is_memcpy(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=2)
+        timer.add_message(0, 0, 1 << 20)
+        elapsed = timer.end_phase("comm")
+        assert elapsed == pytest.approx(machine.memcpy_time(1 << 20))
+
+    def test_in_and_out_times_do_not_add(self):
+        # A locale that sends and receives simultaneously is limited by the
+        # max of the two directions, not the sum.
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=2)
+        timer.add_message(0, 1, 1 << 20)
+        timer.add_message(1, 0, 1 << 20)
+        one_way = machine.network.transfer_time(1 << 20)
+        assert timer.end_phase("comm") == pytest.approx(one_way)
+
+    def test_phase_state_resets(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=1)
+        timer.add_compute(0, 5.0)
+        timer.end_phase("a")
+        assert timer.end_phase("b") == 0.0

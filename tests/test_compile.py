@@ -1,0 +1,137 @@
+"""Tests for the expression-to-kernel compiler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.operators import (
+    compile_expression,
+    heisenberg_chain,
+    number,
+    sigma_minus,
+    sigma_plus,
+    sigma_x,
+    sigma_y,
+    sigma_z,
+    spin_z,
+    transverse_field_ising,
+)
+
+
+class TestPrimitiveExtraction:
+    def test_diagonal_term(self):
+        op = compile_expression(number(2), n_sites=4)
+        assert op.n_diag_primitives == 1
+        assert op.n_off_diag_primitives == 0
+        assert int(op.diag_masks[0]) == 0b100
+        assert int(op.diag_patterns[0]) == 0b100
+
+    def test_hopping_term(self):
+        op = compile_expression(sigma_plus(0) * sigma_minus(1), n_sites=2)
+        assert op.n_off_diag_primitives == 1
+        assert int(op.off_masks[0]) == 0b11
+        assert int(op.off_patterns[0]) == 0b10  # needs site0 down, site1 up
+        assert int(op.off_flips[0]) == 0b11
+
+    def test_duplicate_primitives_merged(self):
+        expr = sigma_x(0) + sigma_x(0)
+        op = compile_expression(expr, n_sites=1)
+        assert op.n_off_diag_primitives == 2  # UP and DN strings
+        assert np.allclose(np.abs(op.off_coeffs), 2.0)
+
+    def test_cancelling_terms_dropped(self):
+        expr = sigma_x(0) - sigma_x(0)
+        op = compile_expression(expr, n_sites=1)
+        assert op.n_off_diag_primitives == 0
+
+    def test_max_entries_per_row(self):
+        op = compile_expression(heisenberg_chain(10), n_sites=10)
+        # one ladder primitive per direction per bond + diagonal
+        assert op.max_entries_per_row == 2 * 10 + 1
+
+
+class TestProperties:
+    def test_heisenberg_conserves_magnetization(self):
+        op = compile_expression(heisenberg_chain(8))
+        assert op.conserves_magnetization
+
+    def test_tfim_does_not_conserve(self):
+        op = compile_expression(transverse_field_ising(6))
+        assert not op.conserves_magnetization
+
+    def test_diagonal_operator_conserves(self):
+        op = compile_expression(spin_z(0) * spin_z(1), n_sites=2)
+        assert op.conserves_magnetization
+
+    def test_is_real(self):
+        assert compile_expression(heisenberg_chain(6)).is_real
+        assert not compile_expression(sigma_y(0), n_sites=1).is_real
+        assert compile_expression(sigma_y(0) * sigma_y(1), n_sites=2).is_real
+
+
+class TestKernels:
+    def test_diagonal_values(self):
+        op = compile_expression(sigma_z(0), n_sites=2)
+        values = op.diagonal_values(np.array([0b00, 0b01, 0b10, 0b11], dtype=np.uint64))
+        assert values.tolist() == [-1.0, 1.0, -1.0, 1.0]
+
+    def test_diagonal_dtype_real(self):
+        op = compile_expression(sigma_z(0), n_sites=1)
+        assert op.diagonal_values(np.array([0], dtype=np.uint64)).dtype == np.float64
+
+    def test_apply_off_diag_simple_flip(self):
+        op = compile_expression(sigma_x(0), n_sites=2)
+        sources, betas, coeffs = op.apply_off_diag(
+            np.array([0b00, 0b01], dtype=np.uint64)
+        )
+        # both states flip bit 0 with coefficient 1
+        assert sorted(betas.tolist()) == [0b00, 0b01]
+        assert np.allclose(coeffs, 1.0)
+        assert sorted(sources.tolist()) == [0, 1]
+
+    def test_apply_off_diag_selective(self):
+        # s+ on site 0 only acts on states with site 0 down
+        op = compile_expression(sigma_plus(0), n_sites=2)
+        sources, betas, _ = op.apply_off_diag(
+            np.array([0b00, 0b01, 0b10], dtype=np.uint64)
+        )
+        assert sources.tolist() == [0, 2]
+        assert betas.tolist() == [0b01, 0b11]
+
+    def test_apply_off_diag_empty(self):
+        op = compile_expression(sigma_plus(0), n_sites=1)
+        sources, betas, coeffs = op.apply_off_diag(
+            np.array([0b1], dtype=np.uint64)
+        )
+        assert sources.size == betas.size == coeffs.size == 0
+
+    def test_row_count_matches_matrix_nnz(self):
+        from repro.basis import SpinBasis
+        from repro.operators.matrix import expression_to_dense
+
+        expr = heisenberg_chain(6)
+        op = compile_expression(expr)
+        basis = SpinBasis(6)
+        dense = expression_to_dense(expr, 6)
+        sources, betas, coeffs = op.apply_off_diag(basis.states)
+        rebuilt = np.zeros_like(dense)
+        rebuilt[betas.astype(np.int64), sources] = coeffs
+        np.fill_diagonal(rebuilt, op.diagonal_values(basis.states))
+        assert np.allclose(rebuilt, dense)
+
+
+class TestValidation:
+    def test_site_out_of_range(self):
+        with pytest.raises(CompilationError):
+            compile_expression(sigma_x(5), n_sites=3)
+
+    def test_infers_n_sites(self):
+        op = compile_expression(sigma_x(5))
+        assert op.n_sites == 6
+
+    def test_invalid_n_sites(self):
+        with pytest.raises(CompilationError):
+            compile_expression(sigma_x(0), n_sites=0)
+
+    def test_repr_smoke(self):
+        assert "CompiledOperator" in repr(compile_expression(sigma_x(0)))

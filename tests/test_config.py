@@ -1,0 +1,236 @@
+"""Tests for the declarative JSON input-file interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SpinBasis, SymmetricBasis
+from repro.config import load_simulation, run_simulation
+from repro.errors import ReproError
+
+
+BASE_SPEC = {
+    "n_sites": 12,
+    "hamiltonian": {"model": "heisenberg_chain"},
+    "basis": {"hamming_weight": 6, "momentum": 0, "parity": 0, "inversion": 0},
+    "solver": {"k": 1, "tol": 1e-10},
+}
+
+
+class TestLoading:
+    def test_from_dict(self):
+        spec = load_simulation(BASE_SPEC)
+        assert spec.n_sites == 12
+        assert isinstance(spec.basis, SymmetricBasis)
+        assert not spec.distributed
+
+    def test_from_json_string(self):
+        spec = load_simulation(json.dumps(BASE_SPEC))
+        assert spec.n_sites == 12
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "input.json"
+        path.write_text(json.dumps(BASE_SPEC))
+        spec = load_simulation(path)
+        assert spec.n_sites == 12
+
+    def test_plain_basis_without_symmetries(self):
+        spec = load_simulation(
+            {
+                "n_sites": 8,
+                "hamiltonian": {"model": "transverse_field_ising", "field": 0.5},
+                "basis": {},
+            }
+        )
+        assert isinstance(spec.basis, SpinBasis)
+        assert spec.basis.hamming_weight is None
+
+    def test_graph_model(self):
+        spec = load_simulation(
+            {
+                "n_sites": 4,
+                "hamiltonian": {
+                    "model": "heisenberg_graph",
+                    "edges": [[0, 1], [1, 2], [2, 3]],
+                },
+                "basis": {"hamming_weight": 2},
+            }
+        )
+        ref = repro.heisenberg([(0, 1), (1, 2), (2, 3)])
+        assert spec.expression.isclose(ref)
+
+    def test_missing_n_sites(self):
+        with pytest.raises(ReproError):
+            load_simulation({"hamiltonian": {"model": "heisenberg_chain"}})
+
+    def test_unknown_model(self):
+        with pytest.raises(ReproError):
+            load_simulation({"n_sites": 4, "hamiltonian": {"model": "hubbard"}})
+
+    def test_unknown_model_parameter(self):
+        with pytest.raises(ReproError):
+            load_simulation(
+                {
+                    "n_sites": 4,
+                    "hamiltonian": {"model": "heisenberg_chain", "tilt": 3},
+                }
+            )
+
+    def test_missing_model_key(self):
+        with pytest.raises(ReproError):
+            load_simulation({"n_sites": 4, "hamiltonian": {"coupling": 1.0}})
+
+
+class TestRunning:
+    def test_serial_run_matches_direct_solve(self):
+        result = run_simulation(load_simulation(BASE_SPEC))
+        group = repro.chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        basis = SymmetricBasis(group, hamming_weight=6)
+        op = repro.Operator(repro.heisenberg_chain(12), basis)
+        e_ref = np.linalg.eigvalsh(op.to_dense())[0]
+        assert result["converged"]
+        assert result["dimension"] == basis.dim
+        assert result["eigenvalues"][0] == pytest.approx(e_ref, abs=1e-8)
+
+    def test_distributed_run(self):
+        spec_dict = dict(BASE_SPEC)
+        spec_dict["cluster"] = {"n_locales": 2, "machine": "laptop", "cores": 4}
+        result = run_simulation(load_simulation(spec_dict))
+        serial = run_simulation(load_simulation(BASE_SPEC))
+        assert result["eigenvalues"][0] == pytest.approx(
+            serial["eigenvalues"][0], abs=1e-8
+        )
+        assert result["n_locales"] == 2
+        assert result["simulated_seconds"] > 0
+
+    def test_result_is_json_serializable(self):
+        result = run_simulation(load_simulation(BASE_SPEC))
+        json.dumps(result)  # must not raise
+
+    def test_xxz_model_runs(self):
+        result = run_simulation(
+            load_simulation(
+                {
+                    "n_sites": 8,
+                    "hamiltonian": {"model": "xxz_chain", "jz": 0.5},
+                    "basis": {"hamming_weight": 4},
+                    "solver": {"k": 2},
+                }
+            )
+        )
+        assert len(result["eigenvalues"]) == 2
+
+    def test_square_lattice_model(self):
+        result = run_simulation(
+            load_simulation(
+                {
+                    "n_sites": 8,
+                    "hamiltonian": {
+                        "model": "heisenberg_square",
+                        "nx": 4,
+                        "ny": 2,
+                    },
+                    "basis": {"hamming_weight": 4},
+                }
+            )
+        )
+        assert result["converged"]
+
+    def test_kagome_model(self):
+        spec = load_simulation(
+            {
+                "n_sites": 12,
+                "hamiltonian": {"model": "heisenberg_kagome12"},
+                "basis": {"hamming_weight": 6},
+            }
+        )
+        result = run_simulation(spec)
+        # kagome-12 reference: E0/site = -0.45374
+        assert result["eigenvalues"][0] / 12 == pytest.approx(-0.45374, abs=1e-4)
+
+    def test_lattice_geometry_mismatch(self):
+        with pytest.raises(ReproError):
+            load_simulation(
+                {
+                    "n_sites": 9,
+                    "hamiltonian": {
+                        "model": "heisenberg_square",
+                        "nx": 4,
+                        "ny": 2,
+                    },
+                }
+            )
+
+    def test_kagome_requires_12_sites(self):
+        with pytest.raises(ReproError):
+            load_simulation(
+                {
+                    "n_sites": 10,
+                    "hamiltonian": {"model": "heisenberg_kagome12"},
+                }
+            )
+
+    def test_snellius_cluster_default(self):
+        spec_dict = dict(BASE_SPEC)
+        spec_dict["cluster"] = {"n_locales": 2}
+        result = run_simulation(load_simulation(spec_dict))
+        assert result["converged"]
+
+
+class TestObservables:
+    SPEC = {
+        "n_sites": 12,
+        "hamiltonian": {"model": "heisenberg_chain"},
+        "basis": {
+            "hamming_weight": 6,
+            "momentum": 0,
+            "parity": 0,
+            "inversion": 0,
+        },
+        "solver": {"k": 1, "tol": 1e-10},
+        "observables": [
+            {"type": "spin_correlation", "distance": 1},
+            {"type": "spin_correlation", "distance": 3, "name": "far"},
+            {"type": "staggered_magnetization"},
+        ],
+    }
+
+    def test_serial_observables(self):
+        result = run_simulation(load_simulation(self.SPEC))
+        obs = result["observables"]
+        # bond-energy sum rule: n * <S0.S1> == E0
+        assert 12 * obs["S0.S1"] == pytest.approx(
+            result["eigenvalues"][0], abs=1e-7
+        )
+        # zero total staggered moment in the singlet ground state
+        assert obs["Sz_staggered"] == pytest.approx(0.0, abs=1e-8)
+        assert obs["far"] < 0  # antiferromagnetic at odd distance
+
+    def test_distributed_observables_match_serial(self):
+        serial = run_simulation(load_simulation(self.SPEC))
+        spec = dict(self.SPEC)
+        spec["cluster"] = {"n_locales": 3, "machine": "laptop", "cores": 4}
+        distributed = run_simulation(load_simulation(spec))
+        for name, value in serial["observables"].items():
+            assert distributed["observables"][name] == pytest.approx(
+                value, abs=1e-7
+            )
+
+    def test_magnetization_observable(self):
+        spec = {
+            "n_sites": 8,
+            "hamiltonian": {"model": "heisenberg_chain"},
+            "basis": {"hamming_weight": 6},
+            "observables": [{"type": "magnetization"}],
+        }
+        result = run_simulation(load_simulation(spec))
+        # 6 up, 2 down -> Sz_total = (6 - 2) / 2 = 2
+        assert result["observables"]["Sz_total"] == pytest.approx(2.0)
+
+    def test_unknown_observable_rejected(self):
+        spec = dict(self.SPEC)
+        spec["observables"] = [{"type": "wilson_loop"}]
+        with pytest.raises(ReproError):
+            load_simulation(spec)

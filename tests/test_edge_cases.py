@@ -1,0 +1,178 @@
+"""Edge-case and failure-injection tests across the distributed stack."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SpinBasis, SymmetricBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+
+
+class TestMoreLocalesThanStates:
+    """Clusters larger than the basis: some locales own zero states."""
+
+    @pytest.fixture
+    def tiny(self):
+        # 6-spin chain, full symmetry: dimension is tiny (~5)
+        group = chain_symmetries(6, momentum=0, parity=0, inversion=0)
+        serial = SymmetricBasis(group, hamming_weight=3)
+        cluster = Cluster(8, laptop_machine(cores=2))
+        template = SymmetricBasis(group, hamming_weight=3, build=False)
+        dbasis, _ = enumerate_states(cluster, template)
+        return serial, dbasis
+
+    def test_enumeration_with_empty_locales(self, tiny):
+        serial, dbasis = tiny
+        assert dbasis.dim == serial.dim
+        assert (dbasis.counts == 0).any()  # at least one empty locale
+        assert np.array_equal(dbasis.global_states(), serial.states)
+
+    @pytest.mark.parametrize("method", ["naive", "batched", "pc"])
+    def test_matvec_with_empty_locales(self, tiny, method, rng):
+        serial, dbasis = tiny
+        expr = repro.heisenberg_chain(6)
+        serial_op = repro.Operator(expr, serial)
+        x = rng.standard_normal(serial.dim)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=2)
+        dy = dop.matvec(dx)
+        assert np.allclose(dy.to_serial(serial), serial_op.matvec(x))
+
+    def test_lanczos_with_empty_locales(self, tiny):
+        serial, dbasis = tiny
+        dop = DistributedOperator(repro.heisenberg_chain(6), dbasis)
+        result, _ = repro.lanczos_distributed(dop, k=1, tol=1e-10)
+        ref = np.linalg.eigvalsh(
+            repro.Operator(repro.heisenberg_chain(6), serial).to_dense()
+        )[0]
+        assert result.eigenvalues[0] == pytest.approx(ref, abs=1e-8)
+
+
+class TestDegenerateBases:
+    def test_single_state_basis(self):
+        # hamming_weight=0: a single basis state, diagonal-only physics
+        basis = SpinBasis(6, hamming_weight=0)
+        op = repro.Operator(repro.heisenberg_chain(6), basis)
+        assert op.dim == 1
+        y = op.matvec(np.array([2.0]))
+        # all-down state: every bond contributes +1/4
+        assert y[0] == pytest.approx(2.0 * 6 * 0.25)
+
+    def test_empty_sector(self):
+        # An empty symmetry sector (no surviving representatives).
+        group = chain_symmetries(4, momentum=1, parity=None, inversion=None)
+        basis = SymmetricBasis(group, hamming_weight=0)
+        assert basis.dim == 0
+        op = repro.Operator(repro.heisenberg_chain(4), basis)
+        y = op.matvec(np.empty(0))
+        assert y.size == 0
+
+    def test_two_site_system_distributed(self, rng):
+        serial = SpinBasis(2, hamming_weight=1)
+        cluster = Cluster(2, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(2, hamming_weight=1))
+        expr = repro.heisenberg([(0, 1)])
+        dop = DistributedOperator(expr, dbasis, batch_size=1)
+        x = rng.standard_normal(2)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        y = dop.matvec(dx).to_serial(serial)
+        ref = repro.Operator(expr, serial).matvec(x)
+        assert np.allclose(y, ref)
+
+
+class TestDiagonalOnlyOperators:
+    def test_ising_without_field_distributed(self, rng):
+        # A purely diagonal Hamiltonian: no communication at all.
+        expr = repro.xxz_chain(8, jz=1.0, jxy=0.0)
+        serial = SpinBasis(8, hamming_weight=4)
+        cluster = Cluster(3, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(8, hamming_weight=4))
+        dop = DistributedOperator(expr, dbasis, method="pc", batch_size=16)
+        x = rng.standard_normal(serial.dim)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        y = dop.matvec(dx)
+        ref = repro.Operator(expr, serial).matvec(x)
+        assert np.allclose(y.to_serial(serial), ref)
+        assert dop.last_report.messages == 0
+
+    def test_zero_operator(self, rng):
+        expr = repro.Expression()
+        basis = SpinBasis(6, hamming_weight=3)
+        op = repro.Operator(expr, basis)
+        x = rng.standard_normal(basis.dim)
+        assert np.allclose(op.matvec(x), 0.0)
+
+
+class TestLargeBatchAndBuffers:
+    def test_batch_larger_than_basis(self, rng):
+        group = chain_symmetries(10, momentum=0, parity=0, inversion=0)
+        serial = SymmetricBasis(group, hamming_weight=5)
+        cluster = Cluster(2, laptop_machine(cores=2))
+        template = SymmetricBasis(group, hamming_weight=5, build=False)
+        dbasis, _ = enumerate_states(cluster, template)
+        dop = DistributedOperator(
+            repro.heisenberg_chain(10), dbasis, batch_size=1 << 20
+        )
+        x = rng.standard_normal(serial.dim)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        y = dop.matvec(dx).to_serial(serial)
+        ref = repro.Operator(repro.heisenberg_chain(10), serial).matvec(x)
+        assert np.allclose(y, ref)
+
+    def test_buffer_capacity_one(self, rng):
+        # Worst-case pipelining: every element is its own message.
+        serial = SpinBasis(8, hamming_weight=4)
+        cluster = Cluster(3, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(8, hamming_weight=4))
+        dop = DistributedOperator(
+            repro.heisenberg_chain(8),
+            dbasis,
+            batch_size=8,
+            buffer_capacity=1,
+        )
+        x = rng.standard_normal(serial.dim)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        y = dop.matvec(dx).to_serial(serial)
+        ref = repro.Operator(repro.heisenberg_chain(8), serial).matvec(x)
+        assert np.allclose(y, ref)
+
+
+class TestRepeatedUse:
+    def test_matvec_idempotent_across_calls(self, rng):
+        serial = SpinBasis(10, hamming_weight=5)
+        cluster = Cluster(2, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(10, hamming_weight=5))
+        dop = DistributedOperator(repro.heisenberg_chain(10), dbasis)
+        x = DistributedVector.full_random(dbasis, seed=0)
+        first = dop.matvec(x).to_serial(serial)
+        for _ in range(3):
+            again = dop.matvec(x).to_serial(serial)
+            assert np.array_equal(first, again)
+
+    def test_power_iteration_through_distributed_matvec(self):
+        # Repeated application converges to the dominant eigenvector of
+        # (H - shift I); a long-chain stress of buffer reuse.
+        serial = SpinBasis(8, hamming_weight=4)
+        cluster = Cluster(2, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(8, hamming_weight=4))
+        expr = repro.heisenberg_chain(8) - 5.0
+        dop = DistributedOperator(expr, dbasis)
+        from repro.distributed import DistributedVectorSpace
+
+        space = DistributedVectorSpace(dbasis)
+        x = DistributedVector.full_random(dbasis, seed=1)
+        for _ in range(150):
+            x = dop.matvec(x)
+            space.scale(1.0 / space.norm(x), x)
+        hx = dop.matvec(x)
+        rayleigh = space.dot(x, hx)
+        e_min = np.linalg.eigvalsh(
+            repro.Operator(repro.heisenberg_chain(8), serial).to_dense()
+        )[0]
+        assert rayleigh + 5.0 == pytest.approx(e_min, abs=1e-4)

@@ -1,0 +1,271 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.runtime.events import (
+    Acquire,
+    Pop,
+    Simulator,
+    Timeout,
+    WaitFlag,
+)
+
+
+class TestTimeouts:
+    def test_single_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(2.5)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(2.5)
+
+    def test_sequential_timeouts_accumulate(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+
+        sim.spawn(proc())
+        assert sim.run() == pytest.approx(3.0)
+
+    def test_parallel_processes_overlap(self):
+        sim = Simulator()
+
+        def proc(dt):
+            yield Timeout(dt)
+
+        sim.spawn(proc(3.0))
+        sim.spawn(proc(1.0))
+        assert sim.run() == pytest.approx(3.0)
+
+    def test_execution_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, dt):
+            yield Timeout(dt)
+            log.append(name)
+
+        sim.spawn(proc("late", 2.0))
+        sim.spawn(proc("early", 1.0))
+        sim.run()
+        assert log == ["early", "late"]
+
+    def test_negative_delay_clamped(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(-5.0)
+
+        sim.spawn(proc())
+        assert sim.run() == 0.0
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        sim.spawn(proc())
+        assert sim.run(until=3.0) == pytest.approx(3.0)
+
+
+class TestFlags:
+    def test_wait_already_satisfied(self):
+        sim = Simulator()
+        flag = sim.flag(True)
+        done = []
+
+        def proc():
+            yield WaitFlag(flag, True)
+            done.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert done == [0.0]
+
+    def test_wait_then_set(self):
+        sim = Simulator()
+        flag = sim.flag(False)
+        done = []
+
+        def waiter():
+            yield WaitFlag(flag, True)
+            done.append(sim.now)
+
+        def setter():
+            yield Timeout(4.0)
+            flag.set(True)
+
+        sim.spawn(waiter())
+        sim.spawn(setter())
+        sim.run()
+        assert done == [pytest.approx(4.0)]
+
+    def test_set_wakes_all_waiters(self):
+        sim = Simulator()
+        flag = sim.flag(False)
+        done = []
+
+        def waiter(i):
+            yield WaitFlag(flag, True)
+            done.append(i)
+
+        for i in range(3):
+            sim.spawn(waiter(i))
+
+        def setter():
+            yield Timeout(1.0)
+            flag.set(True)
+
+        sim.spawn(setter())
+        sim.run()
+        assert sorted(done) == [0, 1, 2]
+
+    def test_producer_consumer_ping_pong(self):
+        # The paper's RemoteBuffer protocol in miniature.
+        sim = Simulator()
+        is_full = sim.flag(False)
+        transferred = []
+
+        def producer():
+            for item in range(3):
+                yield WaitFlag(is_full, False)
+                is_full.set(True)
+                transferred.append(("put", item, sim.now))
+                yield Timeout(1.0)
+
+        def consumer():
+            for _ in range(3):
+                yield WaitFlag(is_full, True)
+                yield Timeout(2.0)
+                transferred.append(("got", sim.now))
+                is_full.set(False)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        elapsed = sim.run()
+        # consumer is the bottleneck: 3 items x 2.0 seconds, pipelined
+        assert elapsed == pytest.approx(6.0)
+        assert len(transferred) == 6
+
+
+class TestQueues:
+    def test_push_then_pop(self):
+        sim = Simulator()
+        q = sim.queue()
+        got = []
+
+        def consumer():
+            item = yield Pop(q)
+            got.append(item)
+
+        q.push("hello")
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["hello"]
+
+    def test_pop_blocks_until_push(self):
+        sim = Simulator()
+        q = sim.queue()
+        got = []
+
+        def consumer():
+            item = yield Pop(q)
+            got.append((item, sim.now))
+
+        def producer():
+            yield Timeout(5.0)
+            q.push(42)
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == [(42, pytest.approx(5.0))]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        q = sim.queue()
+        got = []
+
+        def consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    break
+                got.append(item)
+
+        for i in range(5):
+            q.push(i)
+        q.push(None)
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_len(self):
+        sim = Simulator()
+        q = sim.queue()
+        q.push(1)
+        q.push(2)
+        assert len(q) == 2
+
+
+class TestResources:
+    def test_capacity_one_serializes(self):
+        sim = Simulator()
+        r = sim.resource(1)
+
+        def worker():
+            yield Acquire(r)
+            yield Timeout(2.0)
+            r.release()
+
+        for _ in range(3):
+            sim.spawn(worker())
+        assert sim.run() == pytest.approx(6.0)
+
+    def test_capacity_two_halves_time(self):
+        sim = Simulator()
+        r = sim.resource(2)
+
+        def worker():
+            yield Acquire(r)
+            yield Timeout(2.0)
+            r.release()
+
+        for _ in range(4):
+            sim.spawn(worker())
+        assert sim.run() == pytest.approx(4.0)
+
+
+class TestErrorHandling:
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        flag = sim.flag(False)
+
+        def stuck():
+            yield WaitFlag(flag, True)
+
+        sim.spawn(stuck())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run()
+
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not-a-command"
+
+        sim.spawn(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_call_later(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(3.0)]

@@ -1,0 +1,118 @@
+"""Tests for the finite-temperature Lanczos method."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SpinBasis
+from repro.linalg import ftlm_thermal
+
+
+@pytest.fixture(scope="module")
+def small_system():
+    basis = SpinBasis(8, hamming_weight=4)
+    op = repro.Operator(repro.heisenberg_chain(8), basis)
+    evals = np.linalg.eigvalsh(op.to_dense())
+    return basis, op, evals
+
+
+def exact_energy(evals, t):
+    boltz = np.exp(-(evals - evals.min()) / t)
+    return float((evals * boltz).sum() / boltz.sum())
+
+
+def exact_specific_heat(evals, t):
+    boltz = np.exp(-(evals - evals.min()) / t)
+    e = (evals * boltz).sum() / boltz.sum()
+    e2 = (evals**2 * boltz).sum() / boltz.sum()
+    return float((e2 - e**2) / t**2)
+
+
+class TestAgainstExactThermal:
+    def test_energy_across_temperatures(self, small_system):
+        basis, op, evals = small_system
+        ts = np.array([0.25, 0.5, 1.0, 2.0, 10.0])
+        est = ftlm_thermal(
+            op.matvec,
+            np.zeros(basis.dim),
+            ts,
+            krylov_dim=60,
+            n_samples=60,
+            seed=0,
+        )
+        for i, t in enumerate(ts):
+            assert est.energy[i] == pytest.approx(
+                exact_energy(evals, t), abs=0.12
+            )
+
+    def test_specific_heat_shape(self, small_system):
+        basis, op, evals = small_system
+        ts = np.linspace(0.2, 3.0, 12)
+        est = ftlm_thermal(
+            op.matvec,
+            np.zeros(basis.dim),
+            ts,
+            krylov_dim=60,
+            n_samples=60,
+            seed=1,
+        )
+        exact = np.array([exact_specific_heat(evals, t) for t in ts])
+        # the specific-heat peak position must match within a grid step
+        assert abs(
+            ts[np.argmax(est.specific_heat)] - ts[np.argmax(exact)]
+        ) <= (ts[1] - ts[0]) + 1e-12
+
+    def test_partition_function_high_temperature(self, small_system):
+        # As T -> inf, Z -> dim.
+        basis, op, _ = small_system
+        est = ftlm_thermal(
+            op.matvec,
+            np.zeros(basis.dim),
+            np.array([1000.0]),
+            krylov_dim=40,
+            n_samples=40,
+            seed=2,
+        )
+        assert est.partition_function[0] == pytest.approx(basis.dim, rel=0.1)
+
+    def test_low_temperature_limit_is_ground_state(self, small_system):
+        basis, op, evals = small_system
+        est = ftlm_thermal(
+            op.matvec,
+            np.zeros(basis.dim),
+            np.array([0.02]),
+            krylov_dim=60,
+            n_samples=20,
+            seed=3,
+        )
+        assert est.energy[0] == pytest.approx(evals[0], abs=1e-3)
+
+
+class TestInterface:
+    def test_rejects_nonpositive_temperature(self, small_system):
+        basis, op, _ = small_system
+        with pytest.raises(ValueError):
+            ftlm_thermal(op.matvec, np.zeros(basis.dim), np.array([0.0]))
+
+    def test_deterministic_with_seed(self, small_system):
+        basis, op, _ = small_system
+        kwargs = dict(krylov_dim=20, n_samples=5, seed=7)
+        a = ftlm_thermal(
+            op.matvec, np.zeros(basis.dim), np.array([1.0]), **kwargs
+        )
+        b = ftlm_thermal(
+            op.matvec, np.zeros(basis.dim), np.array([1.0]), **kwargs
+        )
+        assert a.energy[0] == b.energy[0]
+
+    def test_metadata(self, small_system):
+        basis, op, _ = small_system
+        est = ftlm_thermal(
+            op.matvec,
+            np.zeros(basis.dim),
+            np.array([1.0]),
+            krylov_dim=15,
+            n_samples=3,
+        )
+        assert est.krylov_dim == 15
+        assert est.n_samples == 3

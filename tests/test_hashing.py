@@ -1,0 +1,90 @@
+"""Tests for the hashed distribution (hash64_01 / localeIdxOf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.distributed import hash64, locale_of
+
+
+class TestHash64:
+    def test_zero_maps_to_zero(self):
+        # splitmix64 finalizer fixes 0 (a known property).
+        assert int(hash64(np.uint64(0))) == 0
+
+    def test_reference_values(self):
+        # Reference values computed from the splitmix64 finalizer definition.
+        def ref(x):
+            mask = (1 << 64) - 1
+            x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & mask
+            return (x ^ (x >> 31)) & mask
+
+        for value in [1, 2, 1234567, (1 << 48) - 1, (1 << 64) - 1]:
+            assert int(hash64(np.uint64(value))) == ref(value)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_deterministic(self, x):
+        assert int(hash64(np.uint64(x))) == int(hash64(np.uint64(x)))
+
+    def test_vectorized_matches_scalar(self, rng):
+        batch = rng.integers(0, 1 << 62, size=1000, dtype=np.uint64)
+        vec = hash64(batch)
+        for i in range(0, 1000, 97):
+            assert vec[i] == hash64(batch[i : i + 1])[0]
+
+    def test_mixes_low_bits(self):
+        # consecutive inputs should produce wildly different hashes
+        hashes = hash64(np.arange(1024, dtype=np.uint64))
+        assert np.unique(hashes).size == 1024
+        # top bit should be roughly balanced
+        top = (hashes >> np.uint64(63)).sum()
+        assert 400 < int(top) < 624
+
+
+class TestLocaleOf:
+    def test_range(self, rng):
+        states = rng.integers(0, 1 << 50, size=500, dtype=np.uint64)
+        locales = locale_of(states, 7)
+        assert locales.min() >= 0
+        assert locales.max() < 7
+
+    def test_single_locale(self, rng):
+        states = rng.integers(0, 1 << 50, size=100, dtype=np.uint64)
+        assert np.all(locale_of(states, 1) == 0)
+
+    def test_rejects_zero_locales(self):
+        with pytest.raises(ValueError):
+            locale_of(np.array([1], dtype=np.uint64), 0)
+
+    @staticmethod
+    def _representatives():
+        # Surviving orbit representatives of a 20-site chain: strongly
+        # clustered toward small values (orbit minima), the paper's
+        # motivating example of a non-uniform state distribution.
+        from repro.basis import SymmetricBasis
+        from repro.symmetry import chain_symmetries
+
+        basis = SymmetricBasis(
+            chain_symmetries(20, momentum=0, parity=0, inversion=0),
+            hamming_weight=10,
+        )
+        return basis.states
+
+    def test_load_balance_on_structured_states(self):
+        # The paper's point: representatives hash to locales near-uniformly.
+        states = self._representatives()
+        n_locales = 8
+        counts = np.bincount(locale_of(states, n_locales), minlength=n_locales)
+        imbalance = counts.max() / counts.mean()
+        assert imbalance < 1.25
+
+    def test_block_split_of_value_range_is_imbalanced(self):
+        # Counterpoint: splitting the raw value range into equal blocks
+        # would be badly imbalanced (this is why hashing is used).
+        states = self._representatives().astype(np.float64)
+        n_locales = 8
+        edges = np.linspace(0, 1 << 20, n_locales + 1)
+        counts, _ = np.histogram(states, bins=edges)
+        imbalance = counts.max() / counts.mean()
+        assert imbalance > 3.0

@@ -1,0 +1,169 @@
+"""Tests for vector I/O through the block distribution."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SpinBasis, SymmetricBasis
+from repro.distributed import (
+    BlockArray,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.errors import DistributionError
+from repro.io import (
+    load_block_array,
+    load_distributed_vector,
+    save_block_array,
+    save_distributed_vector,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+
+
+class TestBlockArrayIO:
+    def test_roundtrip(self, tmp_path, rng):
+        cluster = Cluster(3, laptop_machine())
+        data = rng.standard_normal(100)
+        arr = BlockArray.from_global(cluster, data)
+        save_block_array(tmp_path, arr, name="x")
+        loaded = load_block_array(tmp_path, cluster, name="x")
+        assert np.array_equal(loaded.to_global(), data)
+
+    def test_manifest_written(self, tmp_path):
+        cluster = Cluster(2, laptop_machine())
+        arr = BlockArray.from_global(cluster, np.arange(10.0))
+        manifest = save_block_array(tmp_path, arr)
+        assert manifest.exists()
+        assert "global_length" in manifest.read_text()
+
+    def test_locale_count_mismatch_rejected(self, tmp_path):
+        cluster = Cluster(2, laptop_machine())
+        arr = BlockArray.from_global(cluster, np.arange(10.0))
+        save_block_array(tmp_path, arr)
+        other = Cluster(3, laptop_machine())
+        with pytest.raises(DistributionError):
+            load_block_array(tmp_path, other)
+
+    def test_dtype_preserved(self, tmp_path):
+        cluster = Cluster(2, laptop_machine())
+        arr = BlockArray.from_global(
+            cluster, np.arange(10, dtype=np.complex128)
+        )
+        save_block_array(tmp_path, arr, name="c")
+        loaded = load_block_array(tmp_path, cluster, name="c")
+        assert loaded.dtype == np.complex128
+
+
+class TestDistributedVectorIO:
+    @pytest.fixture
+    def setup(self):
+        group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        serial = SymmetricBasis(group, hamming_weight=6)
+        cluster = Cluster(3, laptop_machine(cores=2))
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        dbasis, _ = enumerate_states(cluster, template)
+        return serial, dbasis
+
+    def test_roundtrip_same_cluster(self, setup, tmp_path, rng):
+        serial, dbasis = setup
+        x = rng.standard_normal(serial.dim)
+        vec = DistributedVector.from_serial(dbasis, serial, x)
+        save_distributed_vector(tmp_path, vec, name="gs")
+        loaded = load_distributed_vector(tmp_path, dbasis, name="gs")
+        assert np.allclose(loaded.to_serial(serial), x)
+
+    def test_roundtrip_different_locale_count(self, setup, tmp_path, rng):
+        # Written from 3 locales, read into 2 — the block file format is
+        # locale-count independent (sorted basis-state order on disk).
+        serial, dbasis3 = setup
+        x = rng.standard_normal(serial.dim)
+        vec = DistributedVector.from_serial(dbasis3, serial, x)
+        save_distributed_vector(tmp_path, vec, name="v")
+
+        cluster2 = Cluster(2, laptop_machine(cores=2))
+        group = dbasis3.template.group
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        dbasis2, _ = enumerate_states(cluster2, template)
+        loaded = load_distributed_vector(tmp_path, dbasis2, name="v")
+        assert np.allclose(loaded.to_serial(serial), x)
+
+    def test_dimension_mismatch_rejected(self, setup, tmp_path, rng):
+        serial, dbasis = setup
+        vec = DistributedVector.from_serial(
+            dbasis, serial, rng.standard_normal(serial.dim)
+        )
+        save_distributed_vector(tmp_path, vec, name="v")
+        other_cluster = Cluster(3, laptop_machine(cores=2))
+        other_dbasis, _ = enumerate_states(
+            other_cluster, SpinBasis(10, hamming_weight=5)
+        )
+        with pytest.raises(DistributionError):
+            load_distributed_vector(tmp_path, other_dbasis, name="v")
+
+    def test_ground_state_persists(self, setup, tmp_path):
+        # end-to-end: solve, save, load, verify energy unchanged
+        serial, dbasis = setup
+        dop = repro.DistributedOperator(
+            repro.heisenberg_chain(12), dbasis, batch_size=128
+        )
+        result, _ = repro.lanczos_distributed(
+            dop, k=1, tol=1e-10, compute_eigenvectors=True
+        )
+        ground = result.eigenvectors[0]
+        save_distributed_vector(tmp_path, ground, name="gs")
+        loaded = load_distributed_vector(tmp_path, dbasis, name="gs")
+        from repro.distributed import DistributedVectorSpace
+
+        space = DistributedVectorSpace(dbasis)
+        hx = dop.matvec(loaded)
+        energy = space.dot(loaded, hx) / space.dot(loaded, loaded)
+        assert energy == pytest.approx(result.eigenvalues[0], abs=1e-8)
+
+
+class TestBasisStatesIO:
+    def test_roundtrip_across_cluster_sizes(self, tmp_path):
+        from repro.io import load_basis_states, save_basis_states
+
+        group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        writer = Cluster(3, laptop_machine(cores=2))
+        dbasis3, _ = enumerate_states(writer, template)
+        save_basis_states(tmp_path, dbasis3, name="b")
+
+        reader = Cluster(5, laptop_machine(cores=2))
+        dbasis5 = load_basis_states(tmp_path, reader, template, name="b")
+        assert dbasis5.n_locales == 5
+        assert np.array_equal(
+            dbasis5.global_states(), dbasis3.global_states()
+        )
+
+    def test_loaded_basis_supports_matvec(self, tmp_path, rng):
+        from repro.distributed import DistributedVector
+        from repro.io import load_basis_states, save_basis_states
+
+        group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        serial = SymmetricBasis(group, hamming_weight=6)
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        writer = Cluster(2, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(writer, template)
+        save_basis_states(tmp_path, dbasis, name="b")
+
+        reader = Cluster(4, laptop_machine(cores=2))
+        loaded = load_basis_states(tmp_path, reader, template, name="b")
+        dop = repro.DistributedOperator(repro.heisenberg_chain(12), loaded)
+        x = rng.standard_normal(serial.dim)
+        dx = DistributedVector.from_serial(loaded, serial, x)
+        ref = repro.Operator(repro.heisenberg_chain(12), serial).matvec(x)
+        assert np.allclose(dop.matvec(dx).to_serial(serial), ref)
+
+    def test_plain_basis_roundtrip(self, tmp_path):
+        from repro.io import load_basis_states, save_basis_states
+
+        template = SpinBasis(10, hamming_weight=5)
+        writer = Cluster(4, laptop_machine(cores=2))
+        dbasis, _ = enumerate_states(writer, template)
+        save_basis_states(tmp_path, dbasis)
+        loaded = load_basis_states(tmp_path, writer, template)
+        for a, b in zip(loaded.parts, dbasis.parts):
+            assert np.array_equal(a, b)

@@ -1,0 +1,177 @@
+"""Tests for the Lanczos eigensolver and its distributed variant."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+import repro
+from repro.basis import SpinBasis, SymmetricBasis
+from repro.errors import ConvergenceError
+from repro.linalg import lanczos, lanczos_distributed
+from repro.symmetry import chain_symmetries
+
+
+@pytest.fixture
+def operator():
+    group = chain_symmetries(14, momentum=0, parity=0, inversion=0)
+    basis = SymmetricBasis(group, hamming_weight=7)
+    return repro.Operator(repro.heisenberg_chain(14), basis)
+
+
+class TestEigenvalues:
+    def test_lowest_eigenvalue_matches_dense(self, operator, rng):
+        ref = np.linalg.eigvalsh(operator.to_dense())[0]
+        res = lanczos(
+            operator.matvec, rng.standard_normal(operator.dim), k=1, tol=1e-12
+        )
+        assert res.eigenvalues[0] == pytest.approx(ref, abs=1e-9)
+        assert res.converged
+
+    def test_multiple_eigenvalues(self, operator, rng):
+        ref = np.linalg.eigvalsh(operator.to_dense())[:4]
+        res = lanczos(
+            operator.matvec, rng.standard_normal(operator.dim), k=4, tol=1e-12
+        )
+        assert np.allclose(res.eigenvalues, ref, atol=1e-8)
+
+    def test_matches_scipy_eigsh(self, operator, rng):
+        ref = spla.eigsh(operator.as_linear_operator(), k=2, which="SA")[0]
+        res = lanczos(
+            operator.matvec, rng.standard_normal(operator.dim), k=2, tol=1e-12
+        )
+        assert np.allclose(np.sort(res.eigenvalues), np.sort(ref), atol=1e-8)
+
+    def test_complex_sector(self, rng):
+        group = chain_symmetries(10, momentum=3, parity=None, inversion=None)
+        basis = SymmetricBasis(group, hamming_weight=5)
+        op = repro.Operator(repro.heisenberg_chain(10), basis)
+        ref = np.linalg.eigvalsh(op.to_dense())[0]
+        v0 = rng.standard_normal(op.dim) + 1j * rng.standard_normal(op.dim)
+        res = lanczos(op.matvec, v0, k=1, tol=1e-12)
+        assert res.eigenvalues[0] == pytest.approx(ref, abs=1e-9)
+
+    def test_diagonal_matrix_exact(self):
+        diag = np.array([3.0, -1.0, 5.0, 0.5])
+        res = lanczos(lambda v: diag * v, np.ones(4), k=2, tol=1e-13)
+        assert np.allclose(np.sort(res.eigenvalues), [-1.0, 0.5])
+
+
+class TestEigenvectors:
+    def test_eigenvector_residual(self, operator, rng):
+        res = lanczos(
+            operator.matvec,
+            rng.standard_normal(operator.dim),
+            k=2,
+            tol=1e-12,
+            compute_eigenvectors=True,
+        )
+        for value, vector in zip(res.eigenvalues, res.eigenvectors):
+            residual = operator.matvec(vector) - value * vector
+            assert np.linalg.norm(residual) < 1e-7
+
+    def test_eigenvectors_orthonormal(self, operator, rng):
+        res = lanczos(
+            operator.matvec,
+            rng.standard_normal(operator.dim),
+            k=3,
+            tol=1e-12,
+            compute_eigenvectors=True,
+        )
+        v = np.stack(res.eigenvectors, axis=1)
+        assert np.allclose(v.T @ v, np.eye(3), atol=1e-8)
+
+
+class TestRobustness:
+    def test_ghost_eigenvalues_without_reorthogonalization(self, rng):
+        # Without reorthogonalization, converged Ritz values reappear as
+        # spurious duplicates ("ghosts") once orthogonality degrades; the
+        # reorthogonalized run keeps the second eigenvalue distinct.
+        rng_local = np.random.default_rng(0)
+        diag = np.concatenate([[-10.0], np.linspace(0, 1, 399)])
+        matvec = lambda v: diag * v  # noqa: E731
+        v0 = rng_local.standard_normal(400)
+        clean = lanczos(
+            matvec, v0, k=2, tol=1e-12, max_iter=250, reorthogonalize=True
+        )
+        dirty = lanczos(
+            matvec,
+            v0,
+            k=2,
+            tol=1e-12,
+            max_iter=250,
+            reorthogonalize=False,
+            raise_on_no_convergence=False,
+        )
+        gap_clean = clean.eigenvalues[1] - clean.eigenvalues[0]
+        gap_dirty = dirty.eigenvalues[1] - dirty.eigenvalues[0]
+        # the dirty run collapses the gap (ghost copy of -10 appears)
+        assert gap_clean > 5.0
+        assert gap_dirty < 1.0
+
+    def test_zero_start_vector_rejected(self, operator):
+        with pytest.raises(ValueError):
+            lanczos(operator.matvec, np.zeros(operator.dim), k=1)
+
+    def test_convergence_error(self, operator, rng):
+        with pytest.raises(ConvergenceError):
+            lanczos(
+                operator.matvec,
+                rng.standard_normal(operator.dim),
+                k=1,
+                tol=1e-14,
+                max_iter=3,
+            )
+
+    def test_no_raise_flag(self, operator, rng):
+        res = lanczos(
+            operator.matvec,
+            rng.standard_normal(operator.dim),
+            k=1,
+            tol=1e-14,
+            max_iter=5,
+            raise_on_no_convergence=False,
+        )
+        assert not res.converged
+
+    def test_invariant_subspace_early_exit(self):
+        # Start exactly inside a 2-dimensional invariant subspace.
+        diag = np.array([1.0, 2.0, 3.0, 4.0])
+        v0 = np.array([1.0, 1.0, 0.0, 0.0])
+        res = lanczos(lambda v: diag * v, v0, k=2, tol=1e-12)
+        assert np.allclose(np.sort(res.eigenvalues), [1.0, 2.0])
+
+    def test_k_larger_than_reachable_space(self):
+        diag = np.array([1.0, 2.0])
+        with pytest.raises(ConvergenceError):
+            lanczos(lambda v: diag * v, np.array([1.0, 0.0]), k=2, max_iter=50)
+
+
+class TestDistributed:
+    def test_distributed_matches_serial(self, rng):
+        group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        serial = SymmetricBasis(group, hamming_weight=6)
+        ref = np.linalg.eigvalsh(
+            repro.Operator(repro.heisenberg_chain(12), serial).to_dense()
+        )[:2]
+        cluster = repro.Cluster(3, repro.laptop_machine(cores=4))
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        dbasis = repro.DistributedBasis.from_template(cluster, template)
+        dop = repro.DistributedOperator(
+            repro.heisenberg_chain(12), dbasis, batch_size=128
+        )
+        res, sim_time = lanczos_distributed(dop, k=2, tol=1e-10)
+        assert np.allclose(res.eigenvalues, ref, atol=1e-8)
+        assert sim_time > 0
+
+    def test_distributed_u1(self):
+        serial = SpinBasis(10, hamming_weight=5)
+        ref = np.linalg.eigvalsh(
+            repro.Operator(repro.heisenberg_chain(10), serial).to_dense()
+        )[0]
+        cluster = repro.Cluster(2, repro.laptop_machine(cores=4))
+        dbasis = repro.DistributedBasis.from_template(
+            cluster, SpinBasis(10, hamming_weight=5)
+        )
+        dop = repro.DistributedOperator(repro.heisenberg_chain(10), dbasis)
+        res, _ = lanczos_distributed(dop, k=1, tol=1e-10)
+        assert res.eigenvalues[0] == pytest.approx(ref, abs=1e-8)

@@ -1,0 +1,66 @@
+"""Tests for the prefix-bucketed ranking strategy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.basis import PrefixRanker, SortedRanker
+from repro.bits import states_with_weight
+from repro.errors import BasisError
+
+
+class TestAgainstSortedRanker:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        size=st.integers(min_value=1, max_value=500),
+        prefix_bits=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_identical_results(self, seed, size, prefix_bits):
+        rng = np.random.default_rng(seed)
+        states = np.unique(
+            rng.integers(0, 1 << 40, size=size, dtype=np.uint64)
+        )
+        sorted_ranker = SortedRanker(states)
+        prefix_ranker = PrefixRanker(states, prefix_bits=prefix_bits)
+        queries = states[rng.integers(0, states.size, size=64)]
+        assert np.array_equal(
+            prefix_ranker.rank(queries), sorted_ranker.rank(queries)
+        )
+
+    def test_u1_basis(self):
+        states = states_with_weight(20, 10)
+        ranker = PrefixRanker(states, prefix_bits=10)
+        assert np.array_equal(
+            ranker.rank(states), np.arange(states.size, dtype=np.int64)
+        )
+
+    def test_missing_state_raises(self):
+        ranker = PrefixRanker(np.array([1, 5, 9], dtype=np.uint64))
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([4], dtype=np.uint64))
+
+    def test_out_of_range_query_raises(self):
+        ranker = PrefixRanker(np.array([1, 5, 9], dtype=np.uint64), prefix_bits=4)
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([1 << 50], dtype=np.uint64))
+
+    def test_empty_basis(self):
+        ranker = PrefixRanker(np.empty(0, dtype=np.uint64))
+        assert ranker.rank(np.empty(0, dtype=np.uint64)).size == 0
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([1], dtype=np.uint64))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixRanker(np.array([3, 1], dtype=np.uint64))
+
+    def test_prefix_bits_bounds(self):
+        with pytest.raises(ValueError):
+            PrefixRanker(np.array([1], dtype=np.uint64), prefix_bits=0)
+
+    def test_bucket_count_reasonable(self):
+        states = states_with_weight(16, 8)
+        ranker = PrefixRanker(states, prefix_bits=8)
+        assert 2 <= ranker.n_buckets <= (1 << 8) + 2
+        assert ranker.size == states.size

@@ -1,0 +1,123 @@
+"""Tests for the stateToIndex ranking strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.basis import CombinatorialRanker, SortedRanker, binomial_table
+from repro.bits import states_with_weight
+from repro.errors import BasisError
+
+
+class TestBinomialTable:
+    def test_values(self):
+        t = binomial_table(10)
+        assert t[10, 5] == 252
+        assert t[0, 0] == 1
+        assert t[7, 9] == 0
+
+    def test_row_sums_are_powers_of_two(self):
+        t = binomial_table(20)
+        for m in range(21):
+            assert t[m].sum() == 1 << m
+
+    def test_max_width(self):
+        t = binomial_table(63)
+        from math import comb
+
+        assert int(t[63, 31]) == comb(63, 31)
+
+    def test_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            binomial_table(64)
+
+
+class TestSortedRanker:
+    def test_rank_roundtrip(self):
+        states = np.array([2, 5, 9, 17], dtype=np.uint64)
+        ranker = SortedRanker(states)
+        assert ranker.rank(states).tolist() == [0, 1, 2, 3]
+
+    def test_rank_shuffled_queries(self, rng):
+        states = np.sort(
+            rng.choice(1 << 20, size=500, replace=False).astype(np.uint64)
+        )
+        ranker = SortedRanker(states)
+        perm = rng.permutation(500)
+        assert np.array_equal(ranker.rank(states[perm]), perm)
+
+    def test_missing_state_raises(self):
+        ranker = SortedRanker(np.array([1, 3], dtype=np.uint64))
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([2], dtype=np.uint64))
+
+    def test_missing_past_end_raises(self):
+        ranker = SortedRanker(np.array([1, 3], dtype=np.uint64))
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([4], dtype=np.uint64))
+
+    def test_try_rank(self):
+        ranker = SortedRanker(np.array([1, 3, 7], dtype=np.uint64))
+        idx, found = ranker.try_rank(np.array([3, 4, 7], dtype=np.uint64))
+        assert found.tolist() == [True, False, True]
+        assert idx[0] == 1 and idx[2] == 2
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            SortedRanker(np.array([3, 1], dtype=np.uint64))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SortedRanker(np.array([1, 1], dtype=np.uint64))
+
+    def test_empty(self):
+        ranker = SortedRanker(np.empty(0, dtype=np.uint64))
+        _, found = ranker.try_rank(np.array([1], dtype=np.uint64))
+        assert not found[0]
+
+
+class TestCombinatorialRanker:
+    @pytest.mark.parametrize("n,w", [(4, 2), (8, 3), (12, 6), (10, 0), (10, 10)])
+    def test_matches_sorted_enumeration(self, n, w):
+        states = states_with_weight(n, w)
+        ranker = CombinatorialRanker(n, w)
+        assert ranker.size == states.size
+        assert np.array_equal(ranker.rank(states), np.arange(states.size))
+
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    def test_unrank_rank_roundtrip(self, n, w):
+        if w > n:
+            return
+        ranker = CombinatorialRanker(n, w)
+        indices = np.arange(ranker.size, dtype=np.int64)
+        assert np.array_equal(ranker.rank(ranker.unrank(indices)), indices)
+
+    def test_unrank_matches_enumeration(self):
+        n, w = 10, 4
+        ranker = CombinatorialRanker(n, w)
+        assert np.array_equal(
+            ranker.unrank(np.arange(ranker.size)), states_with_weight(n, w)
+        )
+
+    def test_wrong_weight_raises(self):
+        ranker = CombinatorialRanker(6, 3)
+        with pytest.raises(BasisError):
+            ranker.rank(np.array([0b11], dtype=np.uint64))
+
+    def test_unrank_out_of_range(self):
+        ranker = CombinatorialRanker(6, 3)
+        with pytest.raises(BasisError):
+            ranker.unrank(np.array([ranker.size]))
+
+    def test_agrees_with_sorted_ranker(self, rng):
+        n, w = 16, 8
+        states = states_with_weight(n, w)
+        sorted_ranker = SortedRanker(states)
+        comb_ranker = CombinatorialRanker(n, w)
+        sample = states[rng.choice(states.size, size=200, replace=False)]
+        assert np.array_equal(
+            sorted_ranker.rank(sample), comb_ranker.rank(sample)
+        )
