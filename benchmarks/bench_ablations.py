@@ -65,7 +65,11 @@ def test_ablation_matvec_variants(benchmark, reference):
         "batched = getManyRows + per-chunk remote tasks + fresh buffers",
         "pc      = producer-consumer pipeline with reused RemoteBuffers",
     ]
-    write_result("ablation_matvec_variants", "\n".join(lines))
+    write_result(
+        "ablation_matvec_variants",
+        "\n".join(lines),
+        data={"simulated_seconds": times},
+    )
 
 
 def test_ablation_batch_size(benchmark, reference):
@@ -86,7 +90,20 @@ def test_ablation_batch_size(benchmark, reference):
     lines = [f"{'batch':>7} {'sim time [s]':>14} {'mean msg [B]':>13}"]
     for batch, t, msg in rows:
         lines.append(f"{batch:>7} {t:>14.6f} {msg:>13.0f}")
-    write_result("ablation_batch_size", "\n".join(lines))
+    write_result(
+        "ablation_batch_size",
+        "\n".join(lines),
+        data={
+            "rows": [
+                {
+                    "batch_size": batch,
+                    "simulated_seconds": t,
+                    "mean_message_bytes": msg,
+                }
+                for batch, t, msg in rows
+            ]
+        },
+    )
 
 
 def test_ablation_producer_consumer_split(benchmark):
@@ -117,7 +134,17 @@ def test_ablation_producer_consumer_split(benchmark):
         marker = "  <- paper's split" if consumers == 24 else ""
         lines.append(f"{consumers:>14} {speedup:>20.1f}{marker}")
     lines.append(f"{'work stealing':>14} {steal:>20.1f}  <- Sec. 7 proposal")
-    write_result("ablation_producer_consumer_split", "\n".join(lines))
+    write_result(
+        "ablation_producer_consumer_split",
+        "\n".join(lines),
+        data={
+            "rows": [
+                {"consumers": consumers, "speedup_at_64": speedup}
+                for consumers, speedup in rows
+            ],
+            "work_stealing_speedup": steal,
+        },
+    )
 
 
 def test_ablation_work_stealing_real_data(benchmark, reference):
@@ -161,4 +188,5 @@ def test_ablation_hashed_vs_block_balance(benchmark, chain16_setup):
                 f"  block split of the value range:  {block:.3f}",
             ]
         ),
+        data={"hashed_imbalance": hashed, "block_imbalance": float(block)},
     )

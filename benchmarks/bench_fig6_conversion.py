@@ -56,13 +56,17 @@ def test_fig6_paper_scale_curves(benchmark):
         lines = [
             f"{'locales':>8} {'40 spins [s]':>14} {'42 spins [s]':>14}"
         ]
+        rows = []
         for n in (1, 2, 4, 8, 16, 32):
             t40 = ConversionScalingModel(machine, paper_workload(40)).time(n)
             t42 = ConversionScalingModel(machine, paper_workload(42)).time(n)
             lines.append(f"{n:>8} {t40:>14.4f} {t42:>14.4f}")
-        return lines
+            rows.append(
+                {"locales": n, "seconds_40": t40, "seconds_42": t42}
+            )
+        return lines, rows
 
-    lines = benchmark(build_table)
+    lines, rows = benchmark(build_table)
     machine_check = ConversionScalingModel(machine, paper_workload(40))
     # the paper's statement: well under a second beyond 4 locales
     for n in (8, 16, 32):
@@ -78,4 +82,5 @@ def test_fig6_paper_scale_curves(benchmark):
                 "the paper's Fig. 6).",
             ]
         ),
+        data={"rows": rows},
     )

@@ -53,14 +53,24 @@ def test_fig7_paper_scale_curves(benchmark):
             f"{'locales':>8} {'40: speedup':>12} {'put[B]':>9} "
             f"{'42: speedup':>12} {'put[B]':>9}"
         ]
+        rows = []
         for n in (1, 2, 4, 8, 16, 32):
             lines.append(
                 f"{n:>8} {e40.speedup(n):>12.1f} {e40.put_bytes(n):>9.0f} "
                 f"{e42.speedup(n):>12.1f} {e42.put_bytes(n):>9.0f}"
             )
-        return lines
+            rows.append(
+                {
+                    "locales": n,
+                    "speedup_40": e40.speedup(n),
+                    "put_bytes_40": e40.put_bytes(n),
+                    "speedup_42": e42.speedup(n),
+                    "put_bytes_42": e42.put_bytes(n),
+                }
+            )
+        return lines, rows
 
-    lines = benchmark(build)
+    lines, rows = benchmark(build)
     # Paper anchors: near-perfect scaling to 16 nodes; at 32 nodes the
     # 40-spin curve saturates (2 KB puts) while 42 spins stays good (8 KB).
     assert e40.speedup(16) > 0.8 * 16
@@ -79,4 +89,5 @@ def test_fig7_paper_scale_curves(benchmark):
                 "spins -> keeps scaling.  Reproduced.",
             ]
         ),
+        data={"rows": rows},
     )

@@ -73,6 +73,16 @@ def test_fig8a_speedup_curves(benchmark):
                 f"42 spins at 64 nodes: {m42.speedup(64):.1f}x (paper: ~51x)",
             ]
         ),
+        data={
+            "rows": [
+                {
+                    "nodes": n,
+                    "speedup_40": m40.speedup(n),
+                    "speedup_42": m42.speedup(n),
+                }
+                for n in (1, 2, 4, 8, 16, 32, 64)
+            ]
+        },
     )
 
 
@@ -108,6 +118,7 @@ def test_fig8b_large_systems(benchmark):
                 f"46 spins, 16->256 nodes: {s46:.1f}x (paper: 12x)",
             ]
         ),
+        data={"speedup_44_vs4_at256": s44, "speedup_46_vs16_at256": s46},
     )
 
 
@@ -139,4 +150,9 @@ def test_sec63_phase_breakdown(benchmark):
                 f" {gen_64:.2f} s (paper: ~8.2 s)",
             ]
         ),
+        data={
+            "per_core_get_many_rows_seconds": per_core_gen,
+            "per_core_state_to_index_seconds": per_core_search,
+            "per_producer_gen_seconds_64_nodes": gen_64,
+        },
     )

@@ -103,4 +103,10 @@ def test_fig9_paper_scale_curves(benchmark):
                 f"32 nodes: LS is {anchors[(42, 32)]:.1f}x faster (paper: 7-8x)",
             ]
         ),
+        data={
+            "spinpack_over_ls_time_ratio": [
+                {"n_sites": n_sites, "nodes": nodes, "ratio": ratio}
+                for (n_sites, nodes), ratio in anchors.items()
+            ]
+        },
     )

@@ -116,5 +116,10 @@ def format_table(our_sloc: int, features: dict[str, bool]) -> str:
 def test_table1_feature_matrix(benchmark):
     features = benchmark(verify_our_features)
     assert all(v for v in features.values())
-    table = format_table(count_sloc(), features)
-    write_result("table1_features", table)
+    sloc = count_sloc()
+    table = format_table(sloc, features)
+    write_result(
+        "table1_features",
+        table,
+        data={"features": features, "sloc": sloc},
+    )

@@ -34,7 +34,11 @@ def test_table2_dimensions(benchmark):
             f"{n:>2} spins  {dim:>18,} {PAPER_TABLE2[n]:>16,} "
             f"{'yes' if dim == PAPER_TABLE2[n] else 'NO':>6}"
         )
-    write_result("table2_dimensions", "\n".join(lines))
+    write_result(
+        "table2_dimensions",
+        "\n".join(lines),
+        data={"dimensions": {str(n): dim for n, dim in dims.items()}},
+    )
 
 
 def test_table2_counting_vs_enumeration(benchmark):
@@ -96,6 +100,18 @@ def test_capacity_plan_matches_paper_node_counts(benchmark):
                 "fit one node, 44-spin runs start at 4 nodes, 46-spin at 16.",
             ]
         ),
+        data={
+            "plans": [
+                {
+                    "n_sites": n,
+                    "dimension": plan.workload.dimension,
+                    "min_nodes": plan.n_locales,
+                    "bytes_per_locale": plan.bytes_per_locale,
+                    "matvec_seconds": plan.matvec_seconds,
+                }
+                for n, plan in plans.items()
+            ]
+        },
     )
 
 

@@ -9,6 +9,7 @@ with ``-s`` to see them live).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -16,11 +17,25 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def write_result(name: str, text: str) -> None:
-    """Persist a regenerated table/figure and echo it."""
+def write_result(name: str, text: str, data: dict | list | None = None) -> None:
+    """Persist a regenerated table/figure and echo it.
+
+    Besides the human-readable ``results/<name>.txt``, a machine-readable
+    ``results/<name>.json`` is written so the performance trajectory can be
+    diffed across PRs.  ``data`` should hold the numbers behind the table
+    (rows, series, key figures); when omitted, the JSON still records the
+    text lines so every benchmark has *some* parseable artifact.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text)
+    payload = {
+        "name": name,
+        "data": data if data is not None else {"text": text.splitlines()},
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     print(f"\n=== {name} (saved to {path}) ===")
     print(text)
 

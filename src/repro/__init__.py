@@ -91,6 +91,8 @@ from repro.linalg import (
     spectral_function,
 )
 from repro.baselines import SpinpackBasis, SpinpackOperator
+from repro import telemetry
+from repro.telemetry import MetricsRegistry, Telemetry, TraceRecorder
 
 __version__ = "1.0.0"
 
@@ -162,5 +164,9 @@ __all__ = [
     "run_simulation",
     "SpinpackBasis",
     "SpinpackOperator",
+    "telemetry",
+    "Telemetry",
+    "TraceRecorder",
+    "MetricsRegistry",
     "__version__",
 ]

@@ -2,6 +2,14 @@
 
 Runs the exact-diagonalization simulation described by a JSON input file
 (see :mod:`repro.config` for the schema) and prints the result as JSON.
+
+Observability flags (see ``docs/OBSERVABILITY.md``):
+
+- ``--seed INT`` — seed for the random starting vector (default 0);
+- ``--trace PATH`` — export a Perfetto-compatible Chrome trace of the
+  simulated run (one track per locale/worker);
+- ``--metrics PATH`` — export the metrics snapshot (bytes per locale
+  pair, stall/batch distributions, Lanczos residuals) as JSON.
 """
 
 from repro.config import main

@@ -21,6 +21,24 @@ module provides the same interface with JSON:
 eigensolve (serially, or on the simulated cluster when a ``cluster``
 section is present).  ``python -m repro input.json`` runs it from the
 command line (sample files in ``examples/inputs/``).
+
+Command-line flags:
+
+``--seed INT``
+    Seed for the random starting vector of the eigensolve (default 0).
+    Different seeds exercise different Krylov trajectories; eigenvalues
+    must agree to solver tolerance regardless.
+``--trace PATH``
+    Record every simulated-runtime event (producer/consumer spans, stalls,
+    NIC usage, queue depths) and write a Chrome trace-event JSON to
+    ``PATH`` — open it in Perfetto (https://ui.perfetto.dev) to see the
+    pipeline timeline, one track per (locale, worker).
+``--metrics PATH``
+    Collect counters/gauges/histograms (bytes per locale pair, batch-size
+    and stall distributions, Lanczos residuals) and write the snapshot as
+    JSON to ``PATH``; a text table is also printed to stderr.
+
+See ``docs/OBSERVABILITY.md`` for the trace schema and metric names.
 """
 
 from __future__ import annotations
@@ -302,17 +320,56 @@ def _measure_distributed(spec: SimulationSpec, dbasis, ground) -> dict:
     return values
 
 
-def main(argv: list[str] | None = None) -> None:  # pragma: no cover - CLI
+def main(argv: list[str] | None = None) -> None:
     import argparse
+    import sys
+
+    from repro import telemetry
 
     parser = argparse.ArgumentParser(
         description="Run an exact-diagonalization simulation from a JSON file"
     )
     parser.add_argument("input", help="path to the JSON input file")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the random starting vector (default: 0)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Perfetto-compatible Chrome trace-event JSON of the "
+        "simulated run to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the metrics snapshot (counters/gauges/histograms) as "
+        "JSON to PATH; the text table goes to stderr",
+    )
     args = parser.parse_args(argv)
     spec = load_simulation(args.input)
-    print(json.dumps(run_simulation(spec, seed=args.seed), indent=2))
+
+    if args.trace is None and args.metrics is None:
+        print(json.dumps(run_simulation(spec, seed=args.seed), indent=2))
+        return
+
+    tele = telemetry.Telemetry.enabled(trace=args.trace is not None)
+    with telemetry.use(tele):
+        output = run_simulation(spec, seed=args.seed)
+    if args.trace is not None:
+        tele.trace.save(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    snapshot = tele.metrics.snapshot()
+    if args.metrics is not None:
+        Path(args.metrics).write_text(
+            json.dumps(snapshot.to_json(), indent=2)
+        )
+        print(snapshot.table(), file=sys.stderr)
+    print(json.dumps(output, indent=2))
 
 
 if __name__ == "__main__":  # pragma: no cover

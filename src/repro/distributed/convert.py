@@ -18,7 +18,10 @@ fetched runs according to ``masks``.
 
 Both functions move real data (the round trip is exact, as the paper's
 Sec. 6.1 verifies) and account simulated time through a
-:class:`~repro.runtime.clock.BSPTimer`.
+:class:`~repro.runtime.clock.BSPTimer`, which also feeds the ambient
+telemetry context (per-locale-pair traffic counters under the
+``convert.block_to_hashed`` / ``convert.hashed_to_block`` prefixes and
+per-phase trace spans — see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -89,7 +92,7 @@ def block_to_hashed(
     machine = cluster.machine
     if chunks_per_locale is None:
         chunks_per_locale = machine.cores_per_locale
-    timer = BSPTimer(machine, n)
+    timer = BSPTimer(machine, n, name="convert.block_to_hashed")
 
     # (a)+(b) per-chunk histograms of the destination masks.
     chunk_owner: list[int] = []
@@ -178,7 +181,7 @@ def hashed_to_block(
     machine = cluster.machine
     if chunks_per_locale is None:
         chunks_per_locale = machine.cores_per_locale
-    timer = BSPTimer(machine, n)
+    timer = BSPTimer(machine, n, name="convert.hashed_to_block")
     prototype = parts[0] if parts else np.empty(0)
 
     # (a) per-chunk histograms: how many elements come from each source.

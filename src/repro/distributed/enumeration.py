@@ -22,6 +22,7 @@ from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.hashing import locale_of
 from repro.runtime.clock import BSPTimer, SimReport
 from repro.runtime.cluster import Cluster
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["enumerate_states"]
 
@@ -53,7 +54,8 @@ def enumerate_states(
     machine = cluster.machine
     n_locales = cluster.n_locales
     n_sites = template.n_sites
-    timer = BSPTimer(machine, n_locales)
+    timer = BSPTimer(machine, n_locales, name="enumeration")
+    metrics = current_telemetry().metrics
 
     total = 1 << n_sites
     n_chunks = max(n_locales * machine.cores_per_locale * chunks_per_core, 1)
@@ -144,6 +146,7 @@ def enumerate_states(
             parts[dest][off : off + count] = partitioned[start : start + count]
             timer.add_message(owner, dest, count * 8)
             put_bytes.append(count * 8)
+            metrics.histogram("enumeration.put_bytes").observe(count * 8)
             start += count
     timer.end_phase("distribute")
 
@@ -165,4 +168,11 @@ def enumerate_states(
     if put_bytes:
         report.extras["mean_put_bytes"] = float(np.mean(put_bytes))
     report.extras["load_imbalance"] = basis.load_imbalance
+    if metrics.enabled:
+        for locale in range(n_locales):
+            metrics.counter(
+                "enumeration.states_kept", locale=locale
+            ).inc(int(basis.counts[locale]))
+        metrics.gauge("enumeration.load_imbalance").set(basis.load_imbalance)
+        report.metrics = metrics.snapshot()
     return basis, report

@@ -33,6 +33,7 @@ from repro.distributed.matvec_common import (
 from repro.distributed.vector import DistributedVector
 from repro.operators.compile import CompiledOperator
 from repro.runtime.clock import CostLedger, SimReport
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["matvec_batched"]
 
@@ -54,6 +55,7 @@ def matvec_batched(
     n = basis.n_locales
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
+    metrics = current_telemetry().metrics
 
     apply_diagonal(op, basis, x, y)
     compute_busy = np.zeros(n)  # generation + partition + consumption
@@ -83,6 +85,11 @@ def matvec_batched(
                 nbytes = betas.size * ELEMENT_BYTES
                 report.messages += 1
                 report.bytes_sent += nbytes
+                metrics.counter("matvec.messages", src=locale, dst=dest).inc()
+                metrics.counter(
+                    "matvec.bytes", src=locale, dst=dest
+                ).inc(nbytes)
+                metrics.histogram("matvec.buffer_elements").observe(betas.size)
                 pin = nbytes / PIN_BANDWIDTH  # fresh buffer every time
                 if dest == locale:
                     compute_busy[locale] += machine.memcpy_time(nbytes) + pin
@@ -101,4 +108,6 @@ def matvec_batched(
         ledger.add("nic", locale, float(max(nic_out[locale], nic_in[locale])))
     report.elapsed = float(per_locale.max()) if n else 0.0
     report.merge_phase("matvec", report.elapsed)
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
     return y, report

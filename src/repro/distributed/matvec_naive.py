@@ -24,6 +24,7 @@ from repro.distributed.matvec_common import (
 from repro.distributed.vector import DistributedVector
 from repro.operators.compile import CompiledOperator
 from repro.runtime.clock import CostLedger, SimReport
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["matvec_naive"]
 
@@ -45,6 +46,7 @@ def matvec_naive(
     n = basis.n_locales
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
+    metrics = current_telemetry().metrics
 
     n_diag = apply_diagonal(op, basis, x, y)
     for locale in range(n):
@@ -74,6 +76,12 @@ def matvec_naive(
                 incoming_elements[dest] += betas.size
                 report.messages += betas.size
                 report.bytes_sent += betas.size * ELEMENT_BYTES
+                metrics.counter(
+                    "matvec.messages", src=locale, dst=dest
+                ).inc(betas.size)
+                metrics.counter(
+                    "matvec.bytes", src=locale, dst=dest
+                ).inc(betas.size * ELEMENT_BYTES)
 
     # Simulated cost: producers generate in parallel over cores; every
     # element then pays a remote task spawn plus a 16-byte message; the
@@ -97,4 +105,6 @@ def matvec_naive(
     report.merge_phase("matvec", report.elapsed)
     report.extras["n_diag"] = float(n_diag)
     report.extras["elements"] = float(outgoing_elements.sum())
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
     return y, report

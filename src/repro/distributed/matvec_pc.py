@@ -47,6 +47,7 @@ from repro.distributed.vector import DistributedVector
 from repro.operators.compile import CompiledOperator
 from repro.runtime.clock import CostLedger, SimReport
 from repro.runtime.events import Pop, Simulator, Timeout, WaitFlag, Acquire
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["matvec_producer_consumer", "split_cores"]
 
@@ -110,6 +111,9 @@ def matvec_producer_consumer(
     n = basis.n_locales
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
+    tele = current_telemetry()
+    metrics = tele.metrics
+    trace = tele.trace if tele.trace.enabled else None
 
     if n == 1:
         return _shared_memory_matvec(op, basis, x, y, batch_size, report)
@@ -134,9 +138,9 @@ def matvec_producer_consumer(
     t_search = machine.t_search_accum * sim_cons / n_cons
 
     net = machine.network
-    sim = Simulator()
-    nic = [sim.resource(1) for _ in range(n)]
-    ready: list = [sim.queue() for _ in range(n)]
+    sim = Simulator(trace=trace)
+    nic = [sim.resource(1, name=f"nic{locale}") for locale in range(n)]
+    ready: list = [sim.queue(name=f"ready{locale}") for locale in range(n)]
     state = _SharedState(producers_remaining=n * sim_prod)
     state.producers_done_flag = sim.flag(False)
     drained = sim.flag(False)
@@ -164,7 +168,7 @@ def matvec_producer_consumer(
             betas, values = rb.betas, rb.values
             dt = t_search * betas.size
             busy += dt
-            yield Timeout(dt)
+            yield Timeout(dt, "search+accum")
             consume(basis, locale, y.parts[locale], betas, values)
             state.inflight -= 1
             # Clear the producer's local flag with a remote atomic write.
@@ -193,7 +197,8 @@ def matvec_producer_consumer(
             )
             dt = t_generate * chunk.n_emitted + t_partition * chunk.betas.size
             gen_busy += dt
-            yield Timeout(dt)
+            metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
+            yield Timeout(dt, "generate")
             # Round-robin the destinations starting after ourselves so all
             # producers do not hammer locale 0 first.
             for shift in range(n):
@@ -205,20 +210,33 @@ def matvec_producer_consumer(
                     rb = buffers[dest]
                     before = sim.now
                     yield WaitFlag(rb.is_full_local, False)
-                    stall += sim.now - before
+                    if sim.now > before:
+                        stall += sim.now - before
+                        metrics.histogram("matvec.stall_seconds").observe(
+                            sim.now - before
+                        )
                     rb.is_full_local.set(True)
                     rb.betas = betas
                     rb.values = values
                     nbytes = betas.size * ELEMENT_BYTES
                     report.messages += 1
                     report.bytes_sent += nbytes
+                    metrics.counter(
+                        "matvec.messages", src=locale, dst=dest
+                    ).inc()
+                    metrics.counter(
+                        "matvec.bytes", src=locale, dst=dest
+                    ).inc(nbytes)
+                    metrics.histogram("matvec.buffer_elements").observe(
+                        betas.size
+                    )
                     state.inflight += 1
                     if dest == locale:
-                        yield Timeout(machine.memcpy_time(nbytes, 1))
+                        yield Timeout(machine.memcpy_time(nbytes, 1), "memcpy")
                         ready[dest].push(rb)
                     else:
                         yield Acquire(nic[locale])
-                        yield Timeout(net.transfer_time(nbytes))
+                        yield Timeout(net.transfer_time(nbytes), "send")
                         nic[locale].release()
                         # The "buffer is full" notification is an active
                         # message handled by the runtime (fastOn).
@@ -247,9 +265,17 @@ def matvec_producer_consumer(
 
     for locale in range(n):
         for p in range(sim_prod):
-            sim.spawn(producer_body(locale, p), name=f"prod-{locale}-{p}")
+            sim.spawn(
+                producer_body(locale, p),
+                name=f"prod-{locale}-{p}",
+                track=(f"locale{locale}", f"producer{p}"),
+            )
         for c in range(sim_cons):
-            sim.spawn(consumer_body(locale), name=f"cons-{locale}-{c}")
+            sim.spawn(
+                consumer_body(locale),
+                name=f"cons-{locale}-{c}",
+                track=(f"locale{locale}", f"consumer{c}"),
+            )
     sim.spawn(closer(), name="closer")
     elapsed = sim.run()
 
@@ -258,6 +284,15 @@ def matvec_producer_consumer(
     diag_elapsed = max(
         machine.compute_time(machine.t_axpy, int(c)) for c in basis.counts
     )
+    if trace is not None:
+        for locale in range(n):
+            trace.complete(
+                (f"locale{locale}", "diagonal"),
+                "diagonal",
+                elapsed,
+                machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
+            )
+        trace.advance(elapsed + diag_elapsed)
     report.elapsed = elapsed + diag_elapsed
     report.merge_phase("pipeline", elapsed)
     report.merge_phase("diagonal", diag_elapsed)
@@ -265,6 +300,8 @@ def matvec_producer_consumer(
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
     return y, report
 
 
@@ -278,6 +315,7 @@ def _shared_memory_matvec(
 ) -> tuple[DistributedVector, SimReport]:
     """Single-locale mode: all cores generate and consume (no pipeline)."""
     machine = basis.cluster.machine
+    metrics = current_telemetry().metrics
     apply_diagonal(op, basis, x, y)
     count = int(basis.counts[0])
     gen_work = 0.0
@@ -287,6 +325,7 @@ def _shared_memory_matvec(
         chunk = produce_chunk(op, basis, 0, start, stop, x.parts[0])
         betas, values = chunk.slice_for(0)
         consume(basis, 0, y.parts[0], betas, values)
+        metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
         gen_work += machine.t_generate * chunk.n_emitted
         search_work += machine.t_search_accum * chunk.betas.size
     cores = machine.cores_per_locale
@@ -300,4 +339,6 @@ def _shared_memory_matvec(
     report.ledger.add("search+accum", 0, search_work)
     report.extras["producers"] = float(cores)
     report.extras["consumers"] = float(cores)
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
     return y, report

@@ -24,6 +24,7 @@ from scipy.linalg import eigh_tridiagonal
 
 from repro.errors import ConvergenceError
 from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["LanczosResult", "lanczos", "lanczos_distributed"]
 
@@ -39,6 +40,23 @@ class LanczosResult:
     converged: bool
     alphas: np.ndarray = field(repr=False, default=None)
     betas: np.ndarray = field(repr=False, default=None)
+
+
+def _record_iteration(tele, iteration: int, residual: float) -> None:
+    """Feed one iteration's convergence state to the ambient telemetry.
+
+    The residual lands in a gauge (current value), a histogram (the
+    distribution over iterations), and — when tracing — a counter sample
+    at the current end of the simulated timeline, so Perfetto shows the
+    residual decaying against the pipeline activity below it.
+    """
+    tele.metrics.counter("lanczos.iterations").inc()
+    tele.metrics.gauge("lanczos.residual").set(residual)
+    tele.metrics.histogram("lanczos.residual_per_iteration").observe(residual)
+    if tele.trace.enabled:
+        tele.trace.counter(
+            ("solver", "lanczos"), "residual", 0.0, residual
+        )
 
 
 def lanczos(
@@ -73,6 +91,7 @@ def lanczos(
     """
     if space is None:
         space = NumpyVectorSpace()
+    tele = current_telemetry()
     norm0 = space.norm(v0)
     if norm0 == 0.0:
         raise ValueError("starting vector must be non-zero")
@@ -109,6 +128,7 @@ def lanczos(
             )
             eigenvalues = evals[:k]
             residuals = np.abs(beta * evecs[-1, :k])
+            _record_iteration(tele, n_iter, float(residuals.max()))
             if np.all(residuals <= tol * max(1.0, float(np.abs(evals).max()))):
                 converged = True
                 break
@@ -173,6 +193,30 @@ def lanczos_distributed(
     space = DistributedVectorSpace(operator.basis)
     v0 = DistributedVector.full_random(operator.basis, seed=seed)
     start_matvec = operator.total_sim_time
-    result = lanczos(operator.matvec, v0, k=k, space=space, **kwargs)
+
+    trace = current_telemetry().trace
+    if trace.enabled:
+        # Wrap each matvec in a solver-level span on the global simulated
+        # timeline (the matvec implementations advance ``trace.offset`` by
+        # their elapsed time, so the span brackets exactly their tracks).
+        iteration = 0
+
+        def matvec(v):
+            nonlocal iteration
+            iteration += 1
+            t0 = trace.offset
+            w = operator.matvec(v)
+            trace.complete_abs(
+                ("solver", "lanczos"),
+                f"matvec #{iteration}",
+                t0,
+                trace.offset - t0,
+            )
+            return w
+
+    else:
+        matvec = operator.matvec
+
+    result = lanczos(matvec, v0, k=k, space=space, **kwargs)
     sim_time = (operator.total_sim_time - start_matvec) + space.report.elapsed
     return result, sim_time

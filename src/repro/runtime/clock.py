@@ -9,6 +9,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.runtime.machine import MachineModel
+from repro.telemetry.context import current as current_telemetry
+from repro.telemetry.metrics import MetricsSnapshot
 
 __all__ = ["CostLedger", "BSPTimer", "SimReport"]
 
@@ -73,6 +75,10 @@ class SimReport:
         Total point-to-point messages / payload bytes.
     extras:
         Free-form metrics (average message size, stall time, ...).
+    metrics:
+        Optional frozen :class:`~repro.telemetry.metrics.MetricsSnapshot`
+        taken when the operation finished (present when a live
+        :class:`~repro.telemetry.context.Telemetry` bundle was installed).
     """
 
     elapsed: float = 0.0
@@ -81,6 +87,7 @@ class SimReport:
     messages: int = 0
     bytes_sent: int = 0
     extras: dict[str, float] = field(default_factory=dict)
+    metrics: MetricsSnapshot | None = None
 
     @property
     def mean_message_bytes(self) -> float:
@@ -98,6 +105,11 @@ class SimReport:
                 f"  messages = {self.messages}, "
                 f"mean size = {self.mean_message_bytes:.0f} B"
             )
+        if self.metrics is not None:
+            parts.append("metrics:")
+            parts.extend(
+                "  " + line for line in self.metrics.table().splitlines()
+            )
         return "\n".join(parts)
 
 
@@ -110,12 +122,24 @@ class BSPTimer:
     phase's elapsed time — the maximum over locales of local compute plus
     NIC time (per-message latencies and payload serialize at each locale's
     injection/reception port) — and accumulates it into the report.
+
+    When a live telemetry bundle is installed (``repro.telemetry.use``),
+    the timer also feeds it: per-locale-pair message/byte counters and a
+    per-phase duration histogram under the ``name`` prefix, plus one trace
+    span per (locale, phase) laid out sequentially on the global simulated
+    timeline.
     """
 
-    def __init__(self, machine: MachineModel, n_locales: int) -> None:
+    def __init__(
+        self, machine: MachineModel, n_locales: int, name: str = "bsp"
+    ) -> None:
         self.machine = machine
         self.n_locales = n_locales
+        self.name = name
         self.report = SimReport(ledger=CostLedger(n_locales))
+        tele = current_telemetry()
+        self._metrics = tele.metrics
+        self._trace = tele.trace if tele.trace.enabled else None
         self._reset_phase()
 
     def _reset_phase(self) -> None:
@@ -130,6 +154,10 @@ class BSPTimer:
         """Record one point-to-point message of ``nbytes`` payload."""
         self.report.messages += 1
         self.report.bytes_sent += int(nbytes)
+        self._metrics.counter(f"{self.name}.messages", src=src, dst=dst).inc()
+        self._metrics.counter(
+            f"{self.name}.bytes", src=src, dst=dst
+        ).inc(int(nbytes))
         if src == dst:
             # Local "transfer": a memcpy, charged as compute.
             self._compute[src] += self.machine.memcpy_time(nbytes)
@@ -146,5 +174,18 @@ class BSPTimer:
             self.report.ledger.add(name, locale, float(per_locale[locale]))
         self.report.merge_phase(name, elapsed)
         self.report.elapsed += elapsed
+        self._metrics.histogram(
+            f"{self.name}.phase_seconds", phase=name
+        ).observe(elapsed)
+        if self._trace is not None:
+            for locale in range(self.n_locales):
+                busy = float(per_locale[locale])
+                if busy > 0.0:
+                    self._trace.complete(
+                        (f"locale{locale}", self.name), name, 0.0, busy
+                    )
+            self._trace.advance(elapsed)
+        if self._metrics.enabled:
+            self.report.metrics = self._metrics.snapshot()
         self._reset_phase()
         return elapsed

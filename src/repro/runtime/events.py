@@ -21,6 +21,15 @@ A process is a generator that yields *commands*:
 Between yields, processes run ordinary Python — this is where the *real*
 data movement of the simulated algorithms happens, so the simulation
 produces both correct results and simulated timings in one pass.
+
+The simulator optionally feeds a
+:class:`~repro.telemetry.trace.TraceRecorder` (pass it as
+``Simulator(trace=...)``): labelled ``Timeout`` commands become busy
+spans, blocking waits (``WaitFlag`` / ``Pop`` / ``Acquire``) become stall
+spans on the blocked process's track, named queues emit depth counters,
+and named resources emit in-use counters — everything stamped with
+*simulated* time, so the exported trace shows the pipeline of Fig. 5 as
+the paper describes it.
 """
 
 from __future__ import annotations
@@ -48,6 +57,8 @@ ProcessGen = Generator[Any, Any, None]
 @dataclass(frozen=True)
 class Timeout:
     delay: float
+    #: optional span name for the trace (busy work, e.g. "generate")
+    label: str | None = None
 
 
 @dataclass(frozen=True)
@@ -69,12 +80,19 @@ class Acquire:
 class Process:
     """Bookkeeping for one running generator."""
 
-    __slots__ = ("gen", "name", "finished")
+    __slots__ = ("gen", "name", "finished", "track", "block_name", "block_start")
 
-    def __init__(self, gen: ProcessGen, name: str) -> None:
+    def __init__(
+        self, gen: ProcessGen, name: str, track: tuple[str, str] | None = None
+    ) -> None:
         self.gen = gen
         self.name = name
         self.finished = False
+        #: (process_label, thread_label) naming this process's trace track
+        self.track = track if track is not None else ("sim", name)
+        #: while blocked: the stall-span name and its start time
+        self.block_name: str | None = None
+        self.block_start = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Process({self.name!r}, finished={self.finished})"
@@ -106,21 +124,35 @@ class SimFlag:
         if self.value == value:
             self._sim._schedule(0.0, process, None)
         else:
+            self._sim._mark_blocked(process, "stall")
             self._waiters[value].append((process, None))
 
 
 class SimQueue:
-    """An unbounded FIFO queue with blocking pop."""
+    """An unbounded FIFO queue with blocking pop.
 
-    __slots__ = ("_sim", "_items", "_waiters")
+    A named queue on a tracing simulator emits a depth counter sample
+    whenever its backlog changes.
+    """
 
-    def __init__(self, sim: "Simulator") -> None:
+    __slots__ = ("_sim", "_items", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str | None = None) -> None:
         self._sim = sim
         self._items: deque = deque()
         self._waiters: deque[Process] = deque()
+        self.name = name
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def _sample_depth(self) -> None:
+        trace = self._sim._trace
+        if trace is not None and self.name is not None:
+            trace.counter(
+                ("queues", self.name), self.name, self._sim.now,
+                len(self._items),
+            )
 
     def push(self, item: Any) -> None:
         if self._waiters:
@@ -128,30 +160,53 @@ class SimQueue:
             self._sim._schedule(0.0, process, item)
         else:
             self._items.append(item)
+            self._sample_depth()
 
     def _pop(self, process: Process) -> None:
         if self._items:
             self._sim._schedule(0.0, process, self._items.popleft())
+            self._sample_depth()
         else:
+            self._sim._mark_blocked(process, "idle")
             self._waiters.append(process)
 
 
 class SimResource:
-    """A counted resource with FIFO waiters (e.g. a NIC port)."""
+    """A counted resource with FIFO waiters (e.g. a NIC port).
 
-    __slots__ = ("_sim", "capacity", "in_use", "_waiters")
+    A named resource on a tracing simulator emits an in-use counter
+    sample at every acquire/release transition.
+    """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+    __slots__ = ("_sim", "capacity", "in_use", "_waiters", "name")
+
+    def __init__(
+        self, sim: "Simulator", capacity: int = 1, name: str | None = None
+    ) -> None:
         self._sim = sim
         self.capacity = capacity
         self.in_use = 0
         self._waiters: deque[Process] = deque()
+        self.name = name
+
+    def _sample_in_use(self) -> None:
+        trace = self._sim._trace
+        if trace is not None and self.name is not None:
+            trace.counter(
+                ("resources", self.name), self.name, self._sim.now,
+                self.in_use,
+            )
 
     def _acquire(self, process: Process) -> None:
         if self.in_use < self.capacity:
             self.in_use += 1
             self._sim._schedule(0.0, process, None)
+            self._sample_in_use()
         else:
+            self._sim._mark_blocked(
+                process,
+                "wait:" + self.name if self.name is not None else "wait:resource",
+            )
             self._waiters.append(process)
 
     def release(self) -> None:
@@ -160,6 +215,7 @@ class SimResource:
             self._sim._schedule(0.0, process, None)
         else:
             self.in_use -= 1
+            self._sample_in_use()
 
 
 class Simulator:
@@ -174,30 +230,44 @@ class Simulator:
         elapsed = sim.run()
     """
 
-    def __init__(self) -> None:
+    def __init__(self, trace=None) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Process, Any]] = []
         self._sequence = 0
         self._active = 0
+        # Only keep an enabled recorder; every tracing site then guards on
+        # a single `is not None` check, so untraced runs stay fast.
+        self._trace = trace if trace is not None and trace.enabled else None
 
     # -- primitives -----------------------------------------------------------
 
     def flag(self, value: bool = False) -> SimFlag:
         return SimFlag(self, value)
 
-    def queue(self) -> SimQueue:
-        return SimQueue(self)
+    def queue(self, name: str | None = None) -> SimQueue:
+        return SimQueue(self, name)
 
-    def resource(self, capacity: int = 1) -> SimResource:
-        return SimResource(self, capacity)
+    def resource(self, capacity: int = 1, name: str | None = None) -> SimResource:
+        return SimResource(self, capacity, name)
 
     # -- processes ----------------------------------------------------------
 
-    def spawn(self, gen: ProcessGen | Iterator, name: str = "task") -> Process:
-        process = Process(gen, name)
+    def spawn(
+        self,
+        gen: ProcessGen | Iterator,
+        name: str = "task",
+        track: tuple[str, str] | None = None,
+    ) -> Process:
+        process = Process(gen, name, track)
         self._active += 1
         self._schedule(0.0, process, None)
         return process
+
+    def _mark_blocked(self, process: Process, kind: str) -> None:
+        """Remember that a process just blocked (for its stall span)."""
+        if self._trace is not None:
+            process.block_name = kind
+            process.block_start = self.now
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` simulated seconds (fire-and-forget,
@@ -218,6 +288,18 @@ class Simulator:
     # -- event loop -----------------------------------------------------------
 
     def _step(self, process: Process, value: Any) -> None:
+        trace = self._trace
+        if trace is not None and process.block_name is not None:
+            # The process was blocked and is resuming now: emit its stall
+            # span (zero-length stalls are dropped to keep traces small).
+            if self.now > process.block_start:
+                trace.complete(
+                    process.track,
+                    process.block_name,
+                    process.block_start,
+                    self.now - process.block_start,
+                )
+            process.block_name = None
         try:
             command = process.gen.send(value)
         except StopIteration:
@@ -225,6 +307,13 @@ class Simulator:
             self._active -= 1
             return
         if isinstance(command, Timeout):
+            if trace is not None and command.label is not None:
+                trace.complete(
+                    process.track,
+                    command.label,
+                    self.now,
+                    max(command.delay, 0.0),
+                )
             self._schedule(max(command.delay, 0.0), process, None)
         elif isinstance(command, WaitFlag):
             command.flag._wait(process, command.value)

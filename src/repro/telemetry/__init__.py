@@ -1,0 +1,52 @@
+"""Observability for the simulated cluster: event tracing and metrics.
+
+Two sinks, bundled by :class:`~repro.telemetry.context.Telemetry` and made
+ambient through :func:`~repro.telemetry.context.use`:
+
+- :class:`~repro.telemetry.trace.TraceRecorder` — structured span /
+  instant / counter events on the *simulated* clock, exported as Chrome
+  trace-event JSON (open in Perfetto).  One track per (locale, worker), so
+  the paper's Fig. 5 producer-consumer pipeline is directly visible.
+- :class:`~repro.telemetry.metrics.MetricsRegistry` — labelled counters,
+  gauges, and histograms (bytes on the wire per locale pair, batch-size
+  and stall-duration distributions, Lanczos residuals, ...), frozen into
+  :class:`~repro.telemetry.metrics.MetricsSnapshot` objects that render as
+  text tables or JSON.
+
+Both have no-op implementations, installed by default, so disabled
+telemetry costs approximately nothing.  See ``docs/OBSERVABILITY.md`` for
+the trace schema and the metric-name catalogue.
+"""
+
+from repro.telemetry.context import (
+    NULL_TELEMETRY,
+    Telemetry,
+    current,
+    install,
+    use,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+)
+from repro.telemetry.trace import NullTraceRecorder, TraceRecorder
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "current",
+    "install",
+    "use",
+    "TraceRecorder",
+    "NullTraceRecorder",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "MetricsSnapshot",
+    "Counter",
+    "Gauge",
+    "Histogram",
+]

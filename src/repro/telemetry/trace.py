@@ -1,0 +1,253 @@
+"""Structured event tracing on the *simulated* clock.
+
+The :class:`TraceRecorder` captures span, instant, and counter events
+stamped with simulated seconds and exports them in the Chrome trace-event
+JSON format, so a run of the producer-consumer matvec (Sec. 5.3, Fig. 5 of
+the paper) can be opened directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing`` and inspected track by track.
+
+Tracks are named by a ``(process_label, thread_label)`` pair — e.g.
+``("locale1", "producer0")`` — which maps onto the pid/tid dimensions of
+the Chrome format: Perfetto then renders one process group per locale with
+one timeline row per simulated worker, making the pipeline overlap
+literally visible.
+
+Timestamps handed to the recorder are *relative* simulated seconds; the
+recorder adds its running :attr:`offset` so that successive simulations
+(each of which restarts its own :class:`~repro.runtime.events.Simulator`
+at ``t = 0``) lay out sequentially on one global timeline.  Callers that
+complete a simulated phase advance the offset with :meth:`advance`.
+
+A :class:`NullTraceRecorder` (``enabled = False``) makes disabled tracing
+cost approximately nothing: instrumented code guards on ``enabled`` or
+calls the no-op methods directly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["TraceRecorder", "NullTraceRecorder"]
+
+#: Chrome trace-event timestamps are microseconds.
+_US_PER_SECOND = 1e6
+
+Track = "tuple[str, str]"
+
+
+class TraceRecorder:
+    """Collects trace events and serializes them as Chrome trace JSON."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+        #: seconds added to every recorded timestamp (global timeline)
+        self.offset = 0.0
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+        self._open: dict[tuple[str, str], list[tuple[str, float, dict | None]]] = {}
+
+    # -- track bookkeeping -------------------------------------------------
+
+    def _ids(self, track: tuple[str, str]) -> tuple[int, int]:
+        process, thread = track
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+        tid = self._tids.get(track)
+        if tid is None:
+            tid = sum(1 for t in self._tids if t[0] == process) + 1
+            self._tids[track] = tid
+        return pid, tid
+
+    def _ts(self, seconds: float) -> float:
+        return (self.offset + seconds) * _US_PER_SECOND
+
+    # -- recording ---------------------------------------------------------
+
+    def advance(self, seconds: float) -> None:
+        """Shift the global timeline forward (end of one simulation)."""
+        self.offset += seconds
+
+    def complete(
+        self,
+        track: tuple[str, str],
+        name: str,
+        start: float,
+        duration: float,
+        args: dict | None = None,
+    ) -> None:
+        """One complete span ``[start, start + duration]`` (phase ``X``)."""
+        pid, tid = self._ids(track)
+        event = {
+            "ph": "X",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts": self._ts(start),
+            "dur": duration * _US_PER_SECOND,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def complete_abs(
+        self,
+        track: tuple[str, str],
+        name: str,
+        abs_start: float,
+        duration: float,
+        args: dict | None = None,
+    ) -> None:
+        """Like :meth:`complete` but ``abs_start`` is global-timeline time
+        (already includes any offset)."""
+        self.complete(track, name, abs_start - self.offset, duration, args)
+
+    def begin(
+        self,
+        track: tuple[str, str],
+        name: str,
+        start: float,
+        args: dict | None = None,
+    ) -> None:
+        """Open a span on a track; close it with :meth:`end` (LIFO)."""
+        self._open.setdefault(track, []).append((name, start, args))
+
+    def end(self, track: tuple[str, str], stop: float) -> None:
+        """Close the innermost open span on ``track``."""
+        stack = self._open.get(track)
+        if not stack:
+            raise ValueError(f"no open span on track {track!r}")
+        name, start, args = stack.pop()
+        self.complete(track, name, start, stop - start, args)
+
+    def instant(
+        self,
+        track: tuple[str, str],
+        name: str,
+        when: float,
+        args: dict | None = None,
+    ) -> None:
+        """A zero-duration marker (phase ``i``, thread scope)."""
+        pid, tid = self._ids(track)
+        event = {
+            "ph": "i",
+            "s": "t",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts": self._ts(when),
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(
+        self, track: tuple[str, str], name: str, when: float, value: float
+    ) -> None:
+        """A counter sample (phase ``C``) — queue depth, NIC usage, ..."""
+        pid, tid = self._ids(track)
+        self.events.append(
+            {
+                "ph": "C",
+                "name": name,
+                "pid": pid,
+                "tid": tid,
+                "ts": self._ts(when),
+                "args": {name: value},
+            }
+        )
+
+    # -- introspection / export --------------------------------------------
+
+    def open_spans(self) -> list[tuple[tuple[str, str], str]]:
+        """Tracks and names of spans opened with :meth:`begin` but never
+        closed — must be empty for a well-formed trace."""
+        return [
+            (track, name)
+            for track, stack in self._open.items()
+            for (name, _, _) in stack
+        ]
+
+    def _metadata_events(self) -> list[dict[str, Any]]:
+        events: list[dict[str, Any]] = []
+        for process, pid in self._pids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": process},
+                }
+            )
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_sort_index",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": pid},
+                }
+            )
+        for (process, thread), tid in self._tids.items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": self._pids[process],
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        return events
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object."""
+        if self.open_spans():
+            raise ValueError(
+                f"trace has unclosed spans: {self.open_spans()!r}"
+            )
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": self._metadata_events() + self.events,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_chrome(), indent=indent)
+
+    def save(self, path) -> None:
+        """Write the trace to ``path`` (open the file in Perfetto)."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json())
+
+
+class NullTraceRecorder(TraceRecorder):
+    """A recorder whose every method is a no-op (disabled telemetry)."""
+
+    enabled = False
+
+    def advance(self, seconds: float) -> None:
+        pass
+
+    def complete(self, track, name, start, duration, args=None) -> None:
+        pass
+
+    def complete_abs(self, track, name, abs_start, duration, args=None) -> None:
+        pass
+
+    def begin(self, track, name, start, args=None) -> None:
+        pass
+
+    def end(self, track, stop) -> None:
+        pass
+
+    def instant(self, track, name, when, args=None) -> None:
+        pass
+
+    def counter(self, track, name, when, value) -> None:
+        pass

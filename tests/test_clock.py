@@ -1,8 +1,11 @@
 """Tests for cost ledgers and bulk-synchronous phase timing."""
 
+import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.runtime import BSPTimer, CostLedger, SimReport, laptop_machine
+from repro.telemetry import MetricsRegistry, MetricsSnapshot
 
 
 class TestCostLedger:
@@ -30,6 +33,20 @@ class TestCostLedger:
         table = ledger.table()
         assert "generate" in table
 
+    def test_per_locale_accounting_across_phases(self):
+        ledger = CostLedger(3)
+        ledger.add("generate", 0, 1.0)
+        ledger.add("generate", 2, 4.0)
+        ledger.add("generate", 2, 0.5)
+        ledger.add("stall", 1, 0.25)
+        assert ledger.phases == ["generate", "stall"]
+        np.testing.assert_allclose(
+            ledger.per_locale("generate"), [1.0, 0.0, 4.5]
+        )
+        np.testing.assert_allclose(ledger.per_locale("stall"), [0.0, 0.25, 0.0])
+        assert ledger.total("generate") == pytest.approx(5.5)
+        assert ledger.max_over_locales("generate") == pytest.approx(4.5)
+
 
 class TestSimReport:
     def test_mean_message_bytes(self):
@@ -51,6 +68,37 @@ class TestSimReport:
         text = report.summary()
         assert "phase-x" in text
         assert "1.5" in text
+
+    def test_extras_round_trip(self):
+        extras = {"stall_time": 0.125, "load_imbalance": 1.4, "n_diag": 85.0}
+        report = SimReport(extras=dict(extras))
+        report.extras["producers"] = 4.0
+        assert report.extras == {**extras, "producers": 4.0}
+        # extras never leak into the phase breakdown
+        assert report.phase_elapsed == {}
+
+    def test_summary_renders_metrics_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("matvec.bytes", src=0, dst=1).inc(512)
+        registry.gauge("enumeration.load_imbalance").set(1.25)
+        registry.histogram("matvec.stall_seconds").observe(0.5)
+        report = SimReport(elapsed=1.0, metrics=registry.snapshot())
+        text = report.summary()
+        assert "metrics:" in text
+        assert "matvec.bytes{dst=1,src=0}" in text
+        assert "enumeration.load_imbalance" in text
+        assert "matvec.stall_seconds" in text
+
+    def test_summary_without_metrics_has_no_metrics_block(self):
+        assert "metrics:" not in SimReport(elapsed=1.0).summary()
+
+    def test_metrics_snapshot_survives_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("convert.bytes", src=1, dst=0).inc(4096)
+        report = SimReport(metrics=registry.snapshot())
+        restored = MetricsSnapshot.from_json(report.metrics.to_json())
+        assert restored == report.metrics
+        assert restored.counter_total("convert.bytes") == pytest.approx(4096)
 
 
 class TestBSPTimer:
@@ -109,3 +157,32 @@ class TestBSPTimer:
         timer.add_compute(0, 5.0)
         timer.end_phase("a")
         assert timer.end_phase("b") == 0.0
+
+    def test_feeds_telemetry_when_installed(self):
+        machine = laptop_machine(cores=4)
+        tele = telemetry.Telemetry.enabled()
+        with telemetry.use(tele):
+            timer = BSPTimer(machine, n_locales=2, name="convert")
+            timer.add_message(0, 1, 1024)
+            timer.add_message(1, 0, 2048)
+            timer.add_compute(0, 0.5)
+            elapsed = timer.end_phase("scatter")
+        snapshot = timer.report.metrics
+        assert snapshot is not None
+        assert snapshot.counter_total("convert.bytes") == pytest.approx(3072)
+        assert snapshot.counter_total("convert.messages") == pytest.approx(2)
+        assert snapshot.counter_total("convert.bytes") == pytest.approx(
+            timer.report.bytes_sent
+        )
+        # One trace span per busy locale, and the global timeline advanced
+        # by the phase's elapsed time.
+        assert tele.trace.offset == pytest.approx(elapsed)
+        spans = [e for e in tele.trace.events if e["ph"] == "X"]
+        assert spans and all(e["name"] == "scatter" for e in spans)
+
+    def test_without_telemetry_report_has_no_snapshot(self):
+        machine = laptop_machine(cores=4)
+        timer = BSPTimer(machine, n_locales=1)
+        timer.add_compute(0, 1.0)
+        timer.end_phase("work")
+        assert timer.report.metrics is None
