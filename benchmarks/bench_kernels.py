@@ -3,15 +3,29 @@
 These measure the real NumPy throughput of the building blocks (the
 analogue of the paper's Halide kernel performance): basis enumeration,
 ``state_info``, ``getManyRows``, ``stateToIndex`` binary search, the
-destination partition, and the mixing hash.
+destination partition, and the mixing hash — plus comparative timings of
+the fused ``state_info`` kernel against the element-by-element reference
+and of plan-cached matvec replay against the cold path, written as JSON
+artifacts to ``benchmarks/results/`` so the speedups can be diffed across
+PRs.
+
+Set ``BENCH_SMOKE=1`` to run at a reduced problem size (16 sites instead
+of 24) with relaxed speedup thresholds — used by the CI smoke step, which
+still fails hard if the matvec plan records zero cache hits.
 """
 
 from __future__ import annotations
+
+import math
+import os
+from time import perf_counter
 
 import numpy as np
 import pytest
 
 import repro
+from conftest import write_result
+from repro import telemetry
 from repro.basis import SymmetricBasis
 from repro.bits import states_with_weight
 from repro.distributed import hash64, locale_of
@@ -19,8 +33,19 @@ from repro.distributed.convert import stable_partition
 from repro.operators import compile_expression
 from repro.symmetry import chain_symmetries
 
-N_SITES = 24
-WEIGHT = 12
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+N_SITES = 16 if SMOKE else 24
+WEIGHT = N_SITES // 2
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall time of ``fn()`` over ``repeats`` runs (seconds)."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +61,7 @@ def group():
 
 def test_states_with_weight(benchmark):
     out = benchmark(states_with_weight, N_SITES, WEIGHT)
-    assert out.size == 2_704_156
+    assert out.size == math.comb(N_SITES, WEIGHT)
 
 
 def test_hash64_throughput(benchmark, batch):
@@ -113,3 +138,125 @@ def test_serial_matvec_throughput(benchmark, group):
     x = np.random.default_rng(1).standard_normal(basis.dim)
     y = benchmark(op.matvec, x)
     assert y.shape == x.shape
+
+
+# --------------------------------------------------------------------------
+# Comparative micro-benchmarks (JSON artifacts in benchmarks/results/).
+# --------------------------------------------------------------------------
+
+
+def test_state_info_fused_speedup(group, batch):
+    """Fused kernel vs the faithful element-by-element pre-PR reference.
+
+    The acceptance bar — at least 3x for ``|G| >= 8`` — is asserted on the
+    full dihedral-with-inversion chain group (``|G| = 4 * N_SITES``); the
+    smoke run keeps the artifact but only requires the fused path to win.
+    """
+    sample = batch[: 5_000 if SMOKE else 20_000]
+    group.state_info(sample)  # warm scratch buffers before timing
+    t_ref = best_of(lambda: group.state_info_reference(sample), repeats=3)
+    t_fused = best_of(lambda: group.state_info(sample), repeats=5)
+    speedup = t_ref / t_fused
+    write_result(
+        "kernels_state_info_speedup",
+        f"state_info, chain {N_SITES} sites, |G|={len(group)}, "
+        f"{sample.size} states\n"
+        f"  reference (per-element masks): {1e3 * t_ref:9.3f} ms\n"
+        f"  fused kernel:                  {1e3 * t_fused:9.3f} ms\n"
+        f"  speedup:                       {speedup:9.2f}x\n",
+        data={
+            "n_sites": N_SITES,
+            "group_order": len(group),
+            "n_states": int(sample.size),
+            "reference_seconds": t_ref,
+            "fused_seconds": t_fused,
+            "speedup": speedup,
+            "smoke": SMOKE,
+        },
+    )
+    assert speedup >= (1.0 if SMOKE else 3.0)
+
+
+def test_permutation_network_cold_vs_warm(batch):
+    """Cached permutation networks vs recompiling masks every call."""
+    from repro.bits.permutations import (
+        apply_permutation_to_states,
+        compile_permutation,
+    )
+
+    rng = np.random.default_rng(3)
+    perm = rng.permutation(N_SITES)
+    sample = batch[:100_000]
+    out = np.empty_like(sample)
+    scratch = np.empty_like(sample)
+    network = compile_permutation(perm)
+    network.apply(sample, out=out, scratch=scratch)  # size buffers
+    t_cold = best_of(lambda: apply_permutation_to_states(perm, sample))
+    t_warm = best_of(
+        lambda: network.apply(sample, out=out, scratch=scratch)
+    )
+    np.testing.assert_array_equal(
+        out, apply_permutation_to_states(perm, sample)
+    )
+    write_result(
+        "kernels_permutation_cold_vs_warm",
+        f"permutation apply, {N_SITES} sites, {sample.size} states\n"
+        f"  cold (recompile masks): {1e6 * t_cold:9.1f} us\n"
+        f"  warm (cached network):  {1e6 * t_warm:9.1f} us\n"
+        f"  speedup:                {t_cold / t_warm:9.2f}x\n",
+        data={
+            "n_sites": N_SITES,
+            "n_states": int(sample.size),
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": t_cold / t_warm,
+            "smoke": SMOKE,
+        },
+    )
+    assert t_warm <= t_cold
+
+
+def test_plan_replay_speedup(group):
+    """Warm (plan-replay) matvec vs cold, and the plan hit-rate.
+
+    The hit-rate assertion is the hard CI gate: a warm matvec that records
+    zero ``plan.hits`` means the cache wiring silently broke.
+    """
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    op = repro.Operator(repro.heisenberg_chain(N_SITES), basis)
+    x = np.random.default_rng(1).standard_normal(basis.dim)
+
+    tele = telemetry.Telemetry.enabled(trace=False)
+    with telemetry.use(tele):
+        t0 = perf_counter()
+        y_cold = op.matvec(x)
+        t_cold = perf_counter() - t0
+        misses = tele.metrics.counter_total("plan.misses")
+        t_warm = best_of(lambda: op.matvec(x), repeats=3)
+        y_warm = op.matvec(x)
+    hits = tele.metrics.counter_total("plan.hits")
+    hit_rate = hits / max(hits + misses, 1)
+    np.testing.assert_allclose(y_warm, y_cold, rtol=1e-12)
+    speedup = t_cold / t_warm
+    write_result(
+        "kernels_plan_replay_speedup",
+        f"matvec plan replay, chain {N_SITES} sites, dim={basis.dim}\n"
+        f"  cold (getManyRows + stateToIndex): {1e3 * t_cold:9.3f} ms\n"
+        f"  warm (plan replay):                {1e3 * t_warm:9.3f} ms\n"
+        f"  speedup:                           {speedup:9.2f}x\n"
+        f"  plan hits={int(hits)} misses={int(misses)} "
+        f"hit-rate={hit_rate:.3f}\n",
+        data={
+            "n_sites": N_SITES,
+            "dim": int(basis.dim),
+            "cold_seconds": t_cold,
+            "warm_seconds": t_warm,
+            "speedup": speedup,
+            "plan_hits": int(hits),
+            "plan_misses": int(misses),
+            "hit_rate": hit_rate,
+            "smoke": SMOKE,
+        },
+    )
+    assert hits > 0, "plan cache recorded zero hits on a warm matvec"
+    assert speedup >= (1.0 if SMOKE else 2.0)

@@ -65,9 +65,18 @@ class SortedRanker:
     def rank(self, queries) -> np.ndarray:
         """Indices of ``queries`` in the basis (``int64``).
 
-        Raises :class:`~repro.errors.BasisError` if any query is absent.
+        Raises :class:`~repro.errors.BasisError` if any query is absent —
+        including every query against an empty basis (previously an
+        ``IndexError`` from indexing the empty state array with ``-1``).
         """
         q = as_states(queries)
+        if self._states.size == 0:
+            if q.size:
+                raise BasisError(
+                    f"{q.size} state(s) not found in the basis "
+                    f"(the basis is empty)"
+                )
+            return np.empty(0, dtype=np.int64)
         idx = np.searchsorted(self._states, q)
         bad = (idx >= self._states.size) | (
             self._states[np.minimum(idx, self._states.size - 1)] != q

@@ -24,7 +24,10 @@ from repro.bits.ops import (
     interleave,
 )
 from repro.bits.permutations import (
+    ByteGatherTable,
+    MaskShiftNetwork,
     apply_permutation_to_states,
+    compile_permutation,
     permutation_masks,
 )
 
@@ -46,4 +49,7 @@ __all__ = [
     "interleave",
     "apply_permutation_to_states",
     "permutation_masks",
+    "MaskShiftNetwork",
+    "ByteGatherTable",
+    "compile_permutation",
 ]

@@ -47,8 +47,13 @@ def matvec_batched(
     x: DistributedVector,
     y: DistributedVector | None = None,
     batch_size: int = 1 << 13,
+    plan=None,
 ) -> tuple[DistributedVector, SimReport]:
-    """``y = H x`` with chunked generation and per-chunk remote tasks."""
+    """``y = H x`` with chunked generation and per-chunk remote tasks.
+
+    ``plan`` (a :class:`~repro.operators.plan.MatvecPlan`) caches each
+    chunk's x-independent data across calls.
+    """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
     net = machine.network
@@ -70,7 +75,9 @@ def matvec_batched(
         count = int(basis.counts[locale])
         for start in range(0, count, batch_size):
             stop = min(start + batch_size, count)
-            chunk = produce_chunk(op, basis, locale, start, stop, x.parts[locale])
+            chunk = produce_chunk(
+                op, basis, locale, start, stop, x.parts[locale], plan
+            )
             gen = machine.compute_time(machine.t_generate, chunk.n_emitted)
             part = machine.compute_time(
                 machine.t_partition + machine.t_hash, chunk.betas.size
@@ -81,7 +88,10 @@ def matvec_batched(
                 betas, values = chunk.slice_for(dest)
                 if betas.size == 0:
                     continue
-                consume(basis, dest, y.parts[dest], betas, values)
+                consume(
+                    basis, dest, y.parts[dest], betas, values,
+                    chunk.rows_for(dest),
+                )
                 nbytes = betas.size * ELEMENT_BYTES
                 report.messages += 1
                 report.bytes_sent += nbytes

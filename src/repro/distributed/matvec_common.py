@@ -44,19 +44,41 @@ class ProducedChunk:
     destination ``d`` owns the slice ``[starts[d] : starts[d+1])``.
     ``n_emitted`` counts raw off-diagonal elements before symmetry
     filtering (the quantity that costs ``t_generate`` each).
+
+    When produced under a :class:`~repro.operators.plan.MatvecPlan`, the
+    chunk additionally carries the destination-sorted ``sources`` offsets
+    and ``amplitudes`` (the x-independent half of ``values``) so replays
+    reduce to one gather + multiply, and a lazily filled ``rows`` cache of
+    the consumer-side ``stateToIndex`` results (``-1`` marks slices not yet
+    searched).
     """
 
     betas: np.ndarray
     values: np.ndarray
     starts: np.ndarray
     n_emitted: int
+    sources: np.ndarray | None = None
+    amplitudes: np.ndarray | None = None
+    rows: np.ndarray | None = None
 
     def slice_for(self, dest: int) -> tuple[np.ndarray, np.ndarray]:
         lo, hi = int(self.starts[dest]), int(self.starts[dest + 1])
         return self.betas[lo:hi], self.values[lo:hi]
 
+    def rows_for(self, dest: int) -> np.ndarray | None:
+        """The (possibly unfilled) row cache slice for ``dest``."""
+        if self.rows is None:
+            return None
+        lo, hi = int(self.starts[dest]), int(self.starts[dest + 1])
+        return self.rows[lo:hi]
+
     def count_for(self, dest: int) -> int:
         return int(self.starts[dest + 1] - self.starts[dest])
+
+    def replay(self, start: int, x_local: np.ndarray) -> "ProducedChunk":
+        """Refresh :attr:`values` for a new input vector (plan cache hit)."""
+        self.values = self.amplitudes * x_local[start + self.sources]
+        return self
 
 
 def produce_chunk(
@@ -66,6 +88,7 @@ def produce_chunk(
     start: int,
     stop: int,
     x_local: np.ndarray,
+    plan=None,
 ) -> ProducedChunk:
     """Run ``getManyRows`` on local states ``[start:stop)`` of ``locale``.
 
@@ -73,7 +96,16 @@ def produce_chunk(
     ``H[beta, alpha] * x[alpha]`` (the producer multiplies by the source
     amplitude, as in the paper's listing), already partitioned by
     destination locale.
+
+    With a ``plan`` (:class:`~repro.operators.plan.MatvecPlan`), the
+    x-independent pieces are cached under ``(locale, start)`` on first
+    production; subsequent calls replay the cached chunk instead of
+    re-running ``getManyRows`` and the partition.
     """
+    if plan is not None:
+        cached = plan.get((locale, start))
+        if cached is not None:
+            return cached.replay(start, x_local)
     states = basis.parts[locale][start:stop]
     scale = (
         None if basis.scales is None else basis.scales[locale][start:stop]
@@ -88,12 +120,18 @@ def produce_chunk(
     values_sorted = values[order]
     counts = np.bincount(dests, minlength=basis.n_locales).astype(np.int64)
     starts = np.concatenate([[0], np.cumsum(counts)])
-    return ProducedChunk(
+    chunk = ProducedChunk(
         betas=betas_sorted,
         values=values_sorted,
         starts=starts,
         n_emitted=int(sources.size),
     )
+    if plan is not None:
+        chunk.sources = sources[order]
+        chunk.amplitudes = amplitudes[order]
+        chunk.rows = np.full(betas_sorted.size, -1, dtype=np.int64)
+        plan.put((locale, start), chunk)
+    return chunk
 
 
 def consume(
@@ -102,11 +140,23 @@ def consume(
     y_local: np.ndarray,
     betas: np.ndarray,
     values: np.ndarray,
+    rows: np.ndarray | None = None,
 ) -> None:
-    """The consumer kernel: ``stateToIndex`` + atomic accumulate."""
+    """The consumer kernel: ``stateToIndex`` + atomic accumulate.
+
+    ``rows``, when given, is the chunk's cached search-result slice for this
+    destination: filled (and reused on replays) so the binary search runs
+    once per chunk per Krylov solve instead of once per matvec.
+    """
     if betas.size == 0:
         return
-    idx = basis.index_local(locale, betas)
+    if rows is None:
+        idx = basis.index_local(locale, betas)
+    elif rows[0] < 0:
+        idx = basis.index_local(locale, betas)
+        rows[:] = idx
+    else:
+        idx = rows
     np.add.at(y_local, idx, values)
 
 

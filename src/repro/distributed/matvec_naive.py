@@ -35,11 +35,14 @@ def matvec_naive(
     x: DistributedVector,
     y: DistributedVector | None = None,
     batch_size: int = 1 << 14,
+    plan=None,
 ) -> tuple[DistributedVector, SimReport]:
     """``y = H x`` with one simulated remote task per matrix element.
 
     ``batch_size`` only controls the internal vectorization of the Python
     implementation; the *simulated* execution is strictly per-element.
+    ``plan`` (a :class:`~repro.operators.plan.MatvecPlan`) caches each
+    chunk's x-independent data across calls.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -63,7 +66,9 @@ def matvec_naive(
         count = int(basis.counts[locale])
         for start in range(0, count, batch_size):
             stop = min(start + batch_size, count)
-            chunk = produce_chunk(op, basis, locale, start, stop, x.parts[locale])
+            chunk = produce_chunk(
+                op, basis, locale, start, stop, x.parts[locale], plan
+            )
             generate_time[locale] += machine.compute_time(
                 machine.t_generate, chunk.n_emitted
             )
@@ -71,7 +76,10 @@ def matvec_naive(
                 betas, values = chunk.slice_for(dest)
                 if betas.size == 0:
                     continue
-                consume(basis, dest, y.parts[dest], betas, values)
+                consume(
+                    basis, dest, y.parts[dest], betas, values,
+                    chunk.rows_for(dest),
+                )
                 outgoing_elements[locale] += betas.size
                 incoming_elements[dest] += betas.size
                 report.messages += betas.size

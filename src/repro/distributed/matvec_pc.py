@@ -65,9 +65,14 @@ def split_cores(cores: int, consumer_fraction: float) -> tuple[int, int]:
 
 
 class RemoteBuffer:
-    """One producer's reusable transfer buffer towards one locale."""
+    """One producer's reusable transfer buffer towards one locale.
 
-    __slots__ = ("src", "dest", "is_full_local", "betas", "values")
+    ``rows`` piggybacks the plan's consumer-side ``stateToIndex`` cache
+    slice (or ``None`` without a plan) — it is not part of the simulated
+    wire payload, which stays at 16 bytes per element.
+    """
+
+    __slots__ = ("src", "dest", "is_full_local", "betas", "values", "rows")
 
     def __init__(self, sim: Simulator, src: int, dest: int) -> None:
         self.src = src
@@ -75,6 +80,7 @@ class RemoteBuffer:
         self.is_full_local = sim.flag(False)
         self.betas: np.ndarray | None = None
         self.values: np.ndarray | None = None
+        self.rows: np.ndarray | None = None
 
 
 @dataclass
@@ -98,6 +104,7 @@ def matvec_producer_consumer(
     work_stealing: bool = False,
     producers_per_locale: int | None = None,
     consumers_per_locale: int | None = None,
+    plan=None,
 ) -> tuple[DistributedVector, SimReport]:
     """``y = H x`` with the producer-consumer pipeline.
 
@@ -116,7 +123,7 @@ def matvec_producer_consumer(
     trace = tele.trace if tele.trace.enabled else None
 
     if n == 1:
-        return _shared_memory_matvec(op, basis, x, y, batch_size, report)
+        return _shared_memory_matvec(op, basis, x, y, batch_size, report, plan)
 
     cores = machine.cores_per_locale
     if producers_per_locale is None or consumers_per_locale is None:
@@ -165,11 +172,11 @@ def matvec_producer_consumer(
             rb = yield Pop(ready[locale])
             if rb is _SENTINEL:
                 break
-            betas, values = rb.betas, rb.values
+            betas, values, rows = rb.betas, rb.values, rb.rows
             dt = t_search * betas.size
             busy += dt
             yield Timeout(dt, "search+accum")
-            consume(basis, locale, y.parts[locale], betas, values)
+            consume(basis, locale, y.parts[locale], betas, values, rows)
             state.inflight -= 1
             # Clear the producer's local flag with a remote atomic write.
             if rb.src == locale:
@@ -193,7 +200,7 @@ def matvec_producer_consumer(
             state.next_chunk[locale] = c + 1
             start, stop = chunk_lists[locale][c]
             chunk = produce_chunk(
-                op, basis, locale, start, stop, x.parts[locale]
+                op, basis, locale, start, stop, x.parts[locale], plan
             )
             dt = t_generate * chunk.n_emitted + t_partition * chunk.betas.size
             gen_busy += dt
@@ -204,9 +211,15 @@ def matvec_producer_consumer(
             for shift in range(n):
                 dest = (locale + 1 + shift) % n
                 betas_all, values_all = chunk.slice_for(dest)
+                rows_all = chunk.rows_for(dest)
                 for lo in range(0, betas_all.size, buffer_capacity):
                     betas = betas_all[lo : lo + buffer_capacity]
                     values = values_all[lo : lo + buffer_capacity]
+                    rows = (
+                        None
+                        if rows_all is None
+                        else rows_all[lo : lo + buffer_capacity]
+                    )
                     rb = buffers[dest]
                     before = sim.now
                     yield WaitFlag(rb.is_full_local, False)
@@ -218,6 +231,7 @@ def matvec_producer_consumer(
                     rb.is_full_local.set(True)
                     rb.betas = betas
                     rb.values = values
+                    rb.rows = rows
                     nbytes = betas.size * ELEMENT_BYTES
                     report.messages += 1
                     report.bytes_sent += nbytes
@@ -312,6 +326,7 @@ def _shared_memory_matvec(
     y: DistributedVector,
     batch_size: int,
     report: SimReport,
+    plan=None,
 ) -> tuple[DistributedVector, SimReport]:
     """Single-locale mode: all cores generate and consume (no pipeline)."""
     machine = basis.cluster.machine
@@ -322,9 +337,9 @@ def _shared_memory_matvec(
     search_work = 0.0
     for start in range(0, count, batch_size):
         stop = min(start + batch_size, count)
-        chunk = produce_chunk(op, basis, 0, start, stop, x.parts[0])
+        chunk = produce_chunk(op, basis, 0, start, stop, x.parts[0], plan)
         betas, values = chunk.slice_for(0)
-        consume(basis, 0, y.parts[0], betas, values)
+        consume(basis, 0, y.parts[0], betas, values, chunk.rows_for(0))
         metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
         gen_work += machine.t_generate * chunk.n_emitted
         search_work += machine.t_search_accum * chunk.betas.size

@@ -18,6 +18,7 @@ from repro.distributed.vector import DistributedVector
 from repro.errors import CompilationError
 from repro.operators.compile import compile_expression
 from repro.operators.expression import Expression
+from repro.operators.plan import MatvecPlan
 from repro.runtime.clock import SimReport
 
 __all__ = ["DistributedOperator"]
@@ -31,13 +32,23 @@ _METHODS = {
 
 
 class DistributedOperator:
-    """A Hermitian operator over a hash-distributed basis."""
+    """A Hermitian operator over a hash-distributed basis.
+
+    ``plan=True`` (default) attaches a
+    :class:`~repro.operators.plan.MatvecPlan`: the x-independent output of
+    every produced chunk — matrix elements, the destination partition, and
+    the consumer-side ``stateToIndex`` results — is cached on the first
+    matvec and replayed on subsequent ones, which is what makes repeated
+    Krylov iterations cheap.  Pass a ``MatvecPlan`` instance to control the
+    memory budget, or ``False`` to recompute everything each call.
+    """
 
     def __init__(
         self,
         expression: Expression,
         basis: DistributedBasis,
         method: str = "pc",
+        plan: bool | MatvecPlan = True,
         **method_options,
     ) -> None:
         if method not in _METHODS:
@@ -56,8 +67,19 @@ class DistributedOperator:
             )
         self.method = method
         self.method_options = method_options
+        if plan is True:
+            self.plan: MatvecPlan | None = MatvecPlan()
+        elif plan is False or plan is None:
+            self.plan = None
+        else:
+            self.plan = plan
         self.total_sim_time = 0.0
         self.last_report: SimReport | None = None
+
+    def invalidate_plan(self) -> None:
+        """Drop all cached matvec data (keeps the plan enabled)."""
+        if self.plan is not None:
+            self.plan.invalidate()
 
     @property
     def dim(self) -> int:
@@ -81,7 +103,12 @@ class DistributedOperator:
         accumulates into :attr:`total_sim_time`."""
         impl = _METHODS[self.method]
         y, report = impl(
-            self.compiled, self.basis, x, y, **self.method_options
+            self.compiled,
+            self.basis,
+            x,
+            y,
+            plan=self.plan,
+            **self.method_options,
         )
         self.last_report = report
         self.total_sim_time += report.elapsed

@@ -8,7 +8,7 @@ abstraction so they run unchanged on NumPy vectors or on the simulated
 cluster's :class:`~repro.distributed.vector.DistributedVector`.
 """
 
-from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
 from repro.linalg.lanczos import LanczosResult, lanczos, lanczos_distributed
 from repro.linalg.expm import expm_krylov
 from repro.linalg.ftlm import ThermalEstimate, ftlm_thermal
@@ -18,6 +18,7 @@ from repro.linalg.davidson import DavidsonResult, davidson
 __all__ = [
     "VectorSpace",
     "NumpyVectorSpace",
+    "as_matvec",
     "LanczosResult",
     "lanczos",
     "lanczos_distributed",

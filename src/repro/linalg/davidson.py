@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConvergenceError
+from repro.linalg.spaces import as_matvec
 
 __all__ = ["DavidsonResult", "davidson"]
 
@@ -79,6 +80,7 @@ def davidson(
     max_subspace:
         Restart threshold for the search-space width (default ``8 k + 8``).
     """
+    matvec = as_matvec(matvec)
     diagonal = np.asarray(diagonal)
     dim = diagonal.shape[0]
     if k < 1 or k > dim:

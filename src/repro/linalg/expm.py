@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import expm as dense_expm
 
-from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
 
 __all__ = ["expm_krylov"]
 
@@ -30,6 +30,7 @@ def expm_krylov(
     carries any imaginary factor).  Iteration stops early when the Krylov
     residue ``beta`` underflows ``tol``.
     """
+    matvec = as_matvec(matvec)
     if space is None:
         space = NumpyVectorSpace()
     norm_v = space.norm(v)

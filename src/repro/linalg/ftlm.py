@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import eigh_tridiagonal
 
-from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
 
 __all__ = ["ThermalEstimate", "ftlm_thermal"]
 
@@ -97,6 +97,7 @@ def ftlm_thermal(
         Hilbert-space dimension; defaults to ``len(prototype)``.  Used for
         the overall normalization of ``Z``.
     """
+    matvec = as_matvec(matvec)
     temperatures = np.asarray(temperatures, dtype=np.float64)
     if np.any(temperatures <= 0):
         raise ValueError("temperatures must be positive")

@@ -23,7 +23,7 @@ import numpy as np
 from scipy.linalg import eigh_tridiagonal
 
 from repro.errors import ConvergenceError
-from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
 from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["LanczosResult", "lanczos", "lanczos_distributed"]
@@ -75,7 +75,10 @@ def lanczos(
     Parameters
     ----------
     matvec:
-        Callable ``v -> H v`` returning a *new* vector of the same type.
+        Callable ``v -> H v`` returning a *new* vector of the same type,
+        or an operator object with a ``matvec`` method (whose attached
+        :class:`~repro.operators.plan.MatvecPlan`, if any, then serves
+        every iteration).
     v0:
         Starting vector (not modified); should have a component along the
         sought eigenvectors — a random vector is the usual choice.
@@ -89,6 +92,7 @@ def lanczos(
         (classical Gram-Schmidt, twice).  Without it, "ghost" copies of
         converged eigenvalues appear — demonstrated in the tests.
     """
+    matvec = as_matvec(matvec)
     if space is None:
         space = NumpyVectorSpace()
     tele = current_telemetry()

@@ -14,7 +14,29 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["VectorSpace", "NumpyVectorSpace"]
+__all__ = ["VectorSpace", "NumpyVectorSpace", "as_matvec"]
+
+
+def as_matvec(operator_or_matvec):
+    """Normalize an operator argument to a ``v -> H v`` callable.
+
+    Every Krylov driver accepts either a plain callable or any object with
+    a ``matvec`` method (:class:`~repro.operators.Operator`,
+    :class:`~repro.distributed.operator.DistributedOperator`,
+    ``scipy.sparse.linalg.LinearOperator``, ...).  Passing the operator
+    object directly keeps its attached
+    :class:`~repro.operators.plan.MatvecPlan` in the loop, so repeated
+    iterations replay cached matrix elements.
+    """
+    bound = getattr(operator_or_matvec, "matvec", None)
+    if bound is not None:
+        return bound
+    if not callable(operator_or_matvec):
+        raise TypeError(
+            "expected a callable or an object with a .matvec method, got "
+            f"{type(operator_or_matvec).__name__}"
+        )
+    return operator_or_matvec
 
 
 @runtime_checkable

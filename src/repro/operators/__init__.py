@@ -35,6 +35,7 @@ from repro.operators.hamiltonians import (
 )
 from repro.operators.matrix import operator_to_dense, operator_to_sparse
 from repro.operators.operator import Operator
+from repro.operators.plan import MatvecPlan
 from repro.operators.observables import (
     expectation,
     spin_correlation,
@@ -68,6 +69,7 @@ __all__ = [
     "operator_to_dense",
     "operator_to_sparse",
     "Operator",
+    "MatvecPlan",
     "expectation",
     "spin_correlation",
     "symmetrize_expression",

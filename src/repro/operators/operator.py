@@ -9,6 +9,8 @@ and scatter-add into the destination vector.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 import scipy.sparse.linalg as spla
 
@@ -18,6 +20,8 @@ from repro.operators.compile import compile_expression
 from repro.operators.expression import Expression
 from repro.operators.kernels import get_many_rows
 from repro.operators.matrix import operator_to_dense, operator_to_sparse
+from repro.operators.plan import MatvecPlan
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["Operator"]
 
@@ -38,6 +42,13 @@ class Operator:
         Any :class:`~repro.basis.Basis`.
     batch_size:
         How many source states to process per kernel call.
+    plan:
+        Cache the iteration-invariant ``(sources, rows, amplitudes)``
+        triples produced for each batch and replay them on subsequent
+        matvecs (see :class:`~repro.operators.plan.MatvecPlan`).  ``True``
+        builds a plan with the default memory budget; pass a
+        :class:`MatvecPlan` to control (or share) the budget, or ``False``
+        to recompute everything every call.
     """
 
     def __init__(
@@ -45,6 +56,7 @@ class Operator:
         expression: Expression,
         basis: Basis,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        plan: bool | MatvecPlan = True,
     ) -> None:
         self.basis = basis
         self.compiled = compile_expression(expression, basis.n_sites)
@@ -57,7 +69,18 @@ class Operator:
                 "a fixed Hamming weight; use hamming_weight=None"
             )
         self.batch_size = int(batch_size)
+        if plan is True:
+            self.plan: MatvecPlan | None = MatvecPlan()
+        elif plan is False or plan is None:
+            self.plan = None
+        else:
+            self.plan = plan
         self._diagonal: np.ndarray | None = None
+
+    def invalidate_plan(self) -> None:
+        """Drop all cached matvec data (keeps the plan enabled)."""
+        if self.plan is not None:
+            self.plan.invalidate()
 
     # -- inspection -----------------------------------------------------------
 
@@ -93,26 +116,52 @@ class Operator:
         return self._diagonal
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Serial reference ``y = H x``."""
+        """Serial ``y = H x``.
+
+        With a :attr:`plan`, the first call over each batch caches the
+        ``(sources, rows, amplitudes)`` triple — the output of
+        ``getManyRows`` plus the ``stateToIndex`` searches — and later
+        calls replay it: one gather, one multiply, one scatter-add.
+        """
         x = np.asarray(x)
         if x.shape != (self.dim,):
             raise ValueError(f"expected vector of shape ({self.dim},)")
+        metrics = current_telemetry().metrics
+        t0 = perf_counter() if metrics.enabled else 0.0
         dtype = np.promote_types(self.dtype, x.dtype)
         y = self.diagonal().astype(dtype) * x
         states = self.basis.states
         scale = self.basis.source_scale
         for start in range(0, states.size, self.batch_size):
-            alphas = states[start : start + self.batch_size]
-            batch_scale = (
-                None if scale is None else scale[start : start + alphas.size]
-            )
-            sources, members, amplitudes = get_many_rows(
-                self.compiled, self.basis, alphas, batch_scale
-            )
+            entry = None if self.plan is None else self.plan.get((start,))
+            if entry is None:
+                alphas = states[start : start + self.batch_size]
+                batch_scale = (
+                    None
+                    if scale is None
+                    else scale[start : start + alphas.size]
+                )
+                sources, members, amplitudes = get_many_rows(
+                    self.compiled, self.basis, alphas, batch_scale
+                )
+                rows = (
+                    self.basis.index(members)
+                    if sources.size
+                    else np.empty(0, dtype=np.int64)
+                )
+                if self.plan is not None:
+                    # Empty batches are cached too: replay then skips the
+                    # whole getManyRows call, not just the scatter.
+                    self.plan.put((start,), (sources, rows, amplitudes))
+            else:
+                sources, rows, amplitudes = entry
             if sources.size == 0:
                 continue
-            rows = self.basis.index(members)
             np.add.at(y, rows, amplitudes * x[start + sources])
+        if metrics.enabled:
+            metrics.histogram("kernel.matvec_seconds").observe(
+                perf_counter() - t0
+            )
         return y
 
     def __matmul__(self, x):

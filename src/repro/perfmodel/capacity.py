@@ -17,7 +17,7 @@ from repro.perfmodel.models import MatvecScalingModel
 from repro.perfmodel.workloads import ChainWorkload, paper_workload
 from repro.runtime.machine import MachineModel, snellius_machine
 
-__all__ = ["CapacityPlan", "plan_capacity"]
+__all__ = ["CapacityPlan", "plan_capacity", "plan_cache_budget"]
 
 #: Memory per Snellius "thin" node (16 x 16 GiB DDR4), bytes.
 NODE_MEMORY_BYTES = 256 * 2**30
@@ -56,6 +56,28 @@ def bytes_per_locale(workload: ChainWorkload, n_locales: int) -> int:
 #: With this value the planner reproduces the paper's observed minimum
 #: node counts exactly (42 spins on 1 node, 44 on 4, 46 on 16).
 MEMORY_HEADROOM = 0.5
+
+
+#: Fraction of the *usable* node memory (after :data:`MEMORY_HEADROOM`) that
+#: the matvec plan cache may claim.  The dominant residents are the basis
+#: states and the Krylov vectors; the plan trades a bounded slice of the
+#: remainder for skipping ``getManyRows`` + ``stateToIndex`` on every
+#: Lanczos iteration after the first.
+PLAN_CACHE_FRACTION = 1 / 16
+
+#: Absolute ceiling on the plan cache so in-process reproduction runs (which
+#: do not own a 256 GiB node) stay laptop-friendly.
+PLAN_CACHE_CEILING_BYTES = 512 * 2**20
+
+
+def plan_cache_budget(
+    node_memory: int = NODE_MEMORY_BYTES,
+    headroom: float = MEMORY_HEADROOM,
+    fraction: float = PLAN_CACHE_FRACTION,
+    ceiling: int = PLAN_CACHE_CEILING_BYTES,
+) -> int:
+    """Byte budget for one locale's :class:`~repro.operators.plan.MatvecPlan`."""
+    return min(int(node_memory * headroom * fraction), ceiling)
 
 
 def minimum_locales(

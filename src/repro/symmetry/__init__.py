@@ -17,6 +17,7 @@ subpackage provides:
 
 from repro.symmetry.permutation import Permutation
 from repro.symmetry.group import Symmetry, SymmetryGroup
+from repro.symmetry.kernels import GroupKernel
 from repro.symmetry.symmetries import (
     translation,
     reflection,
@@ -35,6 +36,7 @@ __all__ = [
     "Permutation",
     "Symmetry",
     "SymmetryGroup",
+    "GroupKernel",
     "translation",
     "reflection",
     "spin_inversion",

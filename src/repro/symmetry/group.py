@@ -25,8 +25,10 @@ from math import lcm
 
 import numpy as np
 
-from repro.bits.ops import as_states, flip_all
+from repro.bits.ops import as_states, flip_all, reverse_bits, rotate_left
+from repro.bits.permutations import apply_permutation_to_states
 from repro.errors import InvalidSectorError
+from repro.symmetry.kernels import GroupKernel
 from repro.symmetry.permutation import Permutation
 
 __all__ = ["Symmetry", "SymmetryGroup"]
@@ -93,10 +95,15 @@ class SymmetryGroup:
         characters: np.ndarray,
         n_sites: int,
     ) -> None:
-        self._permutations = permutations
+        # Intern equal permutations so elements differing only by the flip
+        # bit share one Permutation instance — and therefore one compiled
+        # mask/shift network and one set of fast-path flags.
+        interned: dict[Permutation, Permutation] = {}
+        self._permutations = [interned.setdefault(p, p) for p in permutations]
         self._flips = np.asarray(flips, dtype=bool)
         self._characters = np.asarray(characters, dtype=np.complex128)
         self._n_sites = n_sites
+        self._kernel: GroupKernel | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -190,12 +197,28 @@ class SymmetryGroup:
 
     def apply_element(self, index: int, states) -> np.ndarray:
         """Apply group element ``index`` to a batch of basis states."""
-        out = self._permutations[index](states)
+        perm = self._permutations[index]
         if self._flips[index]:
-            out = flip_all(out, self._n_sites)
-        return out
+            # Flip-composed elements of identity-permutation pairs skip the
+            # (interned) permutation entirely — flip commutes with it.
+            if perm.is_identity:
+                return flip_all(as_states(states), self._n_sites)
+            return flip_all(perm(states), self._n_sites)
+        return perm(states)
 
     # -- the state_info kernel -------------------------------------------------
+
+    @property
+    def kernel(self) -> GroupKernel:
+        """The fused batch kernel for this group (built once, lazily)."""
+        if self._kernel is None:
+            self._kernel = GroupKernel(
+                self._permutations,
+                self._flips,
+                self._characters,
+                self._n_sites,
+            )
+        return self._kernel
 
     def state_info(self, states) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Representative, transformation character, and stabilizer sum.
@@ -216,13 +239,50 @@ class SymmetryGroup:
         quantity needed for matrix elements is only the ratio
         ``sqrt(stab[rep'] / stab[rep])`` (see
         :meth:`repro.basis.SymmetricBasis`), so ``stab`` is returned raw.
+
+        This dispatches to the fused :class:`~repro.symmetry.kernels.GroupKernel`
+        (precompiled permutations, reused scratch, real-characters fast
+        path).  When every character is real, ``phase`` comes back as
+        ``float64`` instead of ``complex128``.  The straightforward
+        per-element implementation is kept as :meth:`state_info_reference`
+        and the two are property-tested against each other.
+        """
+        return self.kernel.state_info(states)
+
+    def _apply_element_reference(self, index: int, s: np.ndarray) -> np.ndarray:
+        """Pre-compilation element application: rotation/reversal fast paths,
+        and the uncached mask re-deriving path for generic permutations."""
+        perm = self._permutations[index]
+        k = perm.rotation_amount
+        if k is not None:
+            y = rotate_left(s, k, self._n_sites)
+        elif perm.is_reversal:
+            y = reverse_bits(s, self._n_sites)
+        else:
+            y = apply_permutation_to_states(perm.sites, s)
+        if self._flips[index]:
+            y = flip_all(y, self._n_sites)
+        return y
+
+    def state_info_reference(
+        self, states
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference ``state_info``: one allocating pass per group element.
+
+        Semantics documented on :meth:`state_info`.  Kept (and exercised in
+        the tests and benchmarks) as the correctness oracle for the fused
+        kernel and as the honest baseline for its speedup measurements:
+        permutations are applied through the uncached
+        :func:`~repro.bits.permutations.apply_permutation_to_states` path
+        that re-derives the mask decomposition on every call, exactly as the
+        code did before the compiled-network kernels existed.
         """
         s = as_states(states)
         rep = s.copy()
         phase = np.ones(s.shape, dtype=np.complex128)
         stab = np.zeros(s.shape, dtype=np.complex128)
         for i in range(self.size):
-            y = self.apply_element(i, s)
+            y = self._apply_element_reference(i, s)
             chi_conj = np.conj(self._characters[i])
             smaller = y < rep
             if np.any(smaller):

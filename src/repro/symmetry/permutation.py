@@ -7,8 +7,8 @@ from math import lcm
 
 import numpy as np
 
-from repro.bits.ops import reverse_bits, rotate_left
-from repro.bits.permutations import apply_permutation_to_states
+from repro.bits.ops import BITS_DTYPE, reverse_bits, rotate_left
+from repro.bits.permutations import compile_permutation
 
 __all__ = ["Permutation"]
 
@@ -19,9 +19,22 @@ class Permutation:
     ``perm[i]`` is the site that site ``i`` is mapped to.  Acting on a basis
     state moves bit ``i`` to bit ``perm[i]``.  Instances are immutable and
     hashable so they can key group-closure dictionaries.
+
+    The fast-path classification (pure rotation / pure reversal) is detected
+    eagerly at construction, and the generic case is compiled once into a
+    mask/shift network or byte-gather table (see
+    :mod:`repro.bits.permutations`) — per-call work never re-derives either,
+    which is what keeps the ``state_info`` and basis-construction chunk
+    loops allocation-free.
     """
 
-    __slots__ = ("_perm", "__dict__")
+    __slots__ = (
+        "_perm",
+        "_rotation_amount",
+        "_is_reversal",
+        "_reversed_rotation_amount",
+        "__dict__",
+    )
 
     def __init__(self, perm) -> None:
         arr = np.asarray(perm, dtype=np.int64)
@@ -34,6 +47,24 @@ class Permutation:
             raise ValueError(f"not a permutation of range({n}): {arr.tolist()}")
         arr.setflags(write=False)
         self._perm = arr
+        # Eager fast-path detection: both checks are O(n) and every consumer
+        # (group closure, basis build loops, the fused state_info kernel)
+        # needs them, so deriving them per call would dominate small batches.
+        k = int(arr[0])
+        self._rotation_amount = (
+            k if np.array_equal(arr, (np.arange(n) + k) % n) else None
+        )
+        self._is_reversal = bool(
+            np.array_equal(arr, np.arange(n - 1, -1, -1))
+        )
+        # Rotation-of-reversal detection: perm == rotate_k ∘ reversal, i.e.
+        # perm[i] == (n - 1 - i + k) % n.  Every element of a dihedral chain
+        # group is either a rotation or one of these, so the fused kernel
+        # can reuse a single reversed batch instead of a generic gather.
+        kr = (int(arr[0]) + 1) % n
+        self._reversed_rotation_amount = (
+            kr if np.array_equal(arr, (n - 1 - np.arange(n) + kr) % n) else None
+        )
 
     # -- basic protocol ----------------------------------------------------
 
@@ -83,9 +114,9 @@ class Permutation:
         inv[self._perm] = np.arange(self.n_sites)
         return Permutation(inv)
 
-    @cached_property
+    @property
     def is_identity(self) -> bool:
-        return bool(np.array_equal(self._perm, np.arange(self.n_sites)))
+        return self._rotation_amount == 0
 
     @cached_property
     def cycle_lengths(self) -> tuple[int, ...]:
@@ -112,19 +143,31 @@ class Permutation:
 
     # -- action on basis states -----------------------------------------------
 
-    @cached_property
-    def _rotation_amount(self) -> int | None:
-        """If this permutation is ``i -> (i+k) % n``, the ``k``; else None."""
-        n = self.n_sites
-        k = int(self._perm[0])
-        if np.array_equal(self._perm, (np.arange(n) + k) % n):
-            return k
-        return None
+    @property
+    def rotation_amount(self) -> int | None:
+        """``k`` if this permutation is ``i -> (i+k) % n``; else ``None``."""
+        return self._rotation_amount
+
+    @property
+    def is_reversal(self) -> bool:
+        """Whether this permutation is the full reversal ``i -> n-1-i``."""
+        return self._is_reversal
+
+    @property
+    def reversed_rotation_amount(self) -> int | None:
+        """``k`` if this permutation equals ``rotate_k ∘ reversal`` — i.e.
+        ``perm(x) == rotate_left(reverse_bits(x, n), k, n)`` — else ``None``."""
+        return self._reversed_rotation_amount
 
     @cached_property
-    def _is_reversal(self) -> bool:
-        n = self.n_sites
-        return bool(np.array_equal(self._perm, np.arange(n - 1, -1, -1)))
+    def network(self):
+        """The precompiled applier (mask/shift network or byte table).
+
+        Built once per permutation and shared by every group element that
+        holds this permutation (see ``SymmetryGroup``'s interning), so hot
+        loops never re-derive the decomposition.
+        """
+        return compile_permutation(self._perm)
 
     def __call__(self, states) -> np.ndarray:
         """Apply the permutation to a batch of basis states (vectorized)."""
@@ -134,4 +177,18 @@ class Permutation:
             return rotate_left(states, k, n)
         if self._is_reversal:
             return reverse_bits(states, n)
-        return apply_permutation_to_states(self._perm, states)
+        return self.network.apply(np.asarray(states, dtype=BITS_DTYPE))
+
+    def apply_into(
+        self, x: np.ndarray, out: np.ndarray, scratch: np.ndarray
+    ) -> np.ndarray:
+        """Allocation-free application into caller-provided buffers.
+
+        ``x``, ``out`` and ``scratch`` must be distinct ``uint64`` arrays of
+        one shape; returns ``out``.  This is the entry point of the fused
+        ``state_info`` kernel, which owns the scratch arrays.
+        """
+        if self._rotation_amount == 0:
+            np.copyto(out, x)
+            return out
+        return self.network.apply(x, out=out, scratch=scratch)
