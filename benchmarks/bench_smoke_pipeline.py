@@ -1,0 +1,105 @@
+"""Deterministic pipeline diagnostics for the regression gate.
+
+Runs the three distributed matvec variants (naive / batched /
+producer-consumer) traced on the paper's 16-site chain sector and feeds
+the traces through :mod:`repro.telemetry.analysis`.  Every number written
+here — simulated elapsed seconds, overlap efficiency, stall fraction,
+imbalance index, traffic volumes — is a pure function of the code and the
+simulated machine model, so the checked-in baselines under
+``benchmarks/baselines/`` gate them *hard*: any drift beyond the relative
+floor fails CI (see :mod:`repro.bench.compare`).
+
+This is also where the paper's Sec. 5.3 claim is asserted as a test, not
+just reported: the producer-consumer pipeline must overlap communication
+with computation strictly better than the naive per-element variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import write_result
+from repro import telemetry
+from repro.distributed import DistributedOperator, DistributedVector
+from repro.telemetry import Telemetry, analyze_trace
+
+VARIANTS = ("naive", "batched", "pc")
+
+
+@pytest.fixture(scope="module")
+def pipeline_analyses(chain16_setup):
+    """method -> (TraceAnalysis, SimReport) for each matvec variant."""
+    serial, dbasis, _ = chain16_setup
+    expr = repro.heisenberg_chain(16)
+    x = DistributedVector.full_random(dbasis, seed=7)
+    reference = None
+    out = {}
+    for method in VARIANTS:
+        kwargs = {"batch_size": 256}
+        if method == "pc":
+            kwargs.update(
+                buffer_capacity=64,
+                producers_per_locale=3,
+                consumers_per_locale=1,
+            )
+        dop = DistributedOperator(expr, dbasis, method=method, **kwargs)
+        tele = Telemetry.enabled()
+        with telemetry.use(tele):
+            y = dop.matvec(x)
+        if reference is None:
+            reference = y.to_serial(serial)
+        else:
+            np.testing.assert_allclose(
+                y.to_serial(serial), reference, atol=1e-12
+            )
+        out[method] = (
+            analyze_trace(tele.trace, metrics=tele.metrics),
+            dop.last_report,
+        )
+    return out
+
+
+def test_pc_overlaps_strictly_better_than_naive(pipeline_analyses):
+    pc, _ = pipeline_analyses["pc"]
+    naive, _ = pipeline_analyses["naive"]
+    assert pc.overlap_efficiency > naive.overlap_efficiency
+    assert pc.n_locales == naive.n_locales == 4
+
+
+def test_variants_move_identical_payloads(pipeline_analyses):
+    """All three variants push the same bytes — they differ in *how*."""
+    totals = {
+        method: sum(entry[0] for entry in analysis.comm.values())
+        for method, (analysis, _) in pipeline_analyses.items()
+    }
+    assert totals["naive"] == totals["batched"] == totals["pc"] > 0
+
+
+def test_smoke_pipeline_artifact(pipeline_analyses):
+    data = {}
+    lines = [
+        f"{'variant':<10} {'sim[s]':>12} {'overlap':>8} {'stall':>8} "
+        f"{'imbal':>8} {'bytes':>10} {'msgs':>8}"
+    ]
+    for method, (analysis, report) in pipeline_analyses.items():
+        total_bytes = sum(entry[0] for entry in analysis.comm.values())
+        total_msgs = sum(entry[1] for entry in analysis.comm.values())
+        data[method] = {
+            "simulated_seconds": report.elapsed,
+            "overlap_efficiency": analysis.overlap_efficiency,
+            "stall_fraction": analysis.stall_fraction,
+            "imbalance_index": analysis.imbalance_index,
+            "critical_path_utilization": analysis.critical_path_utilization,
+            "bytes": total_bytes,
+            "messages": total_msgs,
+        }
+        lines.append(
+            f"{method:<10} {report.elapsed:>12.6g} "
+            f"{analysis.overlap_efficiency:>8.4f} "
+            f"{analysis.stall_fraction:>8.4f} "
+            f"{analysis.imbalance_index:>8.4f} "
+            f"{total_bytes:>10.0f} {total_msgs:>8.0f}"
+        )
+    write_result("smoke_pipeline", "\n".join(lines), data)

@@ -1,0 +1,265 @@
+"""Noise-aware comparison of benchmark results against baselines.
+
+The central design decision: not every metric deserves the same gate.
+
+- **Deterministic simulated metrics** — simulated elapsed seconds, overlap
+  efficiency, stall fractions, byte/message volumes, dimensions, cache hit
+  counts — are pure functions of the code and the machine *model*, so any
+  drift beyond float noise is a real behavior change.  These get **hard
+  gates**: a regression verdict fails the build.
+- **Wall-clock metrics** — measured kernel seconds, speedup ratios — vary
+  with the CI machine, its load, and the allocator's mood.  These get
+  **soft gates**: a drift beyond threshold is reported as a warning but
+  does not fail the build (pass ``strict=True`` to promote warnings).
+
+The threshold combines the baseline's noise estimate with a relative
+floor: ``max(sigmas * stddev, rel_floor * |mean|, abs_floor)`` — 2σ by
+default, so a metric must leave its own historical noise band *and* move
+by a meaningful fraction before it trips the gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.baselines import Stat, load_dir
+
+__all__ = [
+    "GateClass",
+    "classify",
+    "Comparison",
+    "compare_metrics",
+    "compare_dirs",
+    "format_table",
+    "format_markdown",
+]
+
+
+@dataclass(frozen=True)
+class GateClass:
+    """How one metric key is judged.
+
+    ``direction``: "lower" (regression = increase), "higher" (regression =
+    decrease), or "exact" (regression = any drift beyond threshold).
+    ``hard``: whether a regression fails the build. ``rel_floor``: the
+    minimum relative drift considered meaningful.
+    """
+
+    direction: str
+    hard: bool
+    rel_floor: float
+    label: str
+
+
+#: last-path-segment regex -> gate class, first match wins.
+_RULES: list[tuple[re.Pattern, GateClass]] = [
+    # deterministic outputs of the simulated machine: hard gates
+    (
+        re.compile(r"(^|_)(simulated|sim)_seconds($|\.)|simulated_seconds"),
+        GateClass("lower", True, 0.02, "sim-time"),
+    ),
+    (
+        re.compile(r"overlap_efficiency|hit_rate"),
+        GateClass("higher", True, 0.02, "efficiency"),
+    ),
+    (
+        re.compile(r"stall_fraction|imbalance"),
+        GateClass("lower", True, 0.05, "balance"),
+    ),
+    (
+        re.compile(r"(^|[._])(bytes|messages|msgs|dim|elements|states|hits|misses)($|[._\d])"),
+        GateClass("exact", True, 1e-9, "volume"),
+    ),
+    # wall-clock measurements: machine-dependent, soft gates
+    (
+        re.compile(r"speedup"),
+        GateClass("higher", False, 0.25, "wall-clock"),
+    ),
+    (
+        re.compile(r"seconds|_time($|\.)"),
+        GateClass("lower", False, 0.25, "wall-clock"),
+    ),
+]
+
+_DEFAULT = GateClass("exact", False, 0.10, "info")
+
+
+def classify(key: str) -> GateClass:
+    """The gate class for a flattened metric key."""
+    for pattern, gate in _RULES:
+        if pattern.search(key):
+            return gate
+    return _DEFAULT
+
+
+@dataclass
+class Comparison:
+    """One metric's verdict: current value vs its baseline statistic."""
+
+    name: str  # artifact name
+    key: str  # flattened metric key
+    gate: GateClass
+    baseline: Stat | None
+    value: float | None
+    verdict: str  # ok | regression | warn | improved | new | missing
+    threshold: float = 0.0
+
+    @property
+    def delta(self) -> float:
+        if self.baseline is None or self.value is None:
+            return 0.0
+        return self.value - self.baseline.mean
+
+    @property
+    def fails(self) -> bool:
+        return self.verdict == "regression"
+
+
+def _judge(gate: GateClass, stat: Stat, value: float, sigmas: float) -> tuple[str, float]:
+    """(verdict, threshold) for one (baseline, current) pair."""
+    threshold = max(
+        sigmas * stat.stddev, gate.rel_floor * abs(stat.mean), 1e-12
+    )
+    delta = value - stat.mean
+    if abs(delta) <= threshold:
+        return "ok", threshold
+    if gate.direction == "lower":
+        worse = delta > 0
+    elif gate.direction == "higher":
+        worse = delta < 0
+    else:  # exact: any drift is a change in deterministic behavior
+        worse = True
+    if not worse:
+        return "improved", threshold
+    return ("regression" if gate.hard else "warn"), threshold
+
+
+def compare_metrics(
+    name: str,
+    baseline: dict[str, Stat],
+    current: dict[str, float],
+    sigmas: float = 2.0,
+) -> list[Comparison]:
+    """Judge every metric of one artifact against its baseline."""
+    rows: list[Comparison] = []
+    for key in sorted(set(baseline) | set(current)):
+        gate = classify(key)
+        stat = baseline.get(key)
+        value = current.get(key)
+        if stat is None:
+            rows.append(Comparison(name, key, gate, None, value, "new"))
+            continue
+        if value is None:
+            rows.append(Comparison(name, key, gate, stat, None, "missing"))
+            continue
+        verdict, threshold = _judge(gate, stat, value, sigmas)
+        rows.append(Comparison(name, key, gate, stat, value, verdict, threshold))
+    return rows
+
+
+def compare_dirs(
+    results_dir: Path,
+    baselines_dir: Path,
+    sigmas: float = 2.0,
+    strict: bool = False,
+) -> tuple[list[Comparison], bool]:
+    """Compare every artifact with a checked-in baseline.
+
+    Returns ``(rows, ok)``.  Artifacts without a baseline are reported
+    verdict "new" (row per artifact, not per metric) and never fail;
+    baselines whose artifact was not regenerated in this run are skipped
+    (the CI smoke run only regenerates a subset).  ``strict`` promotes
+    soft warnings and missing metrics to failures.
+    """
+    results = load_dir(results_dir, "results")
+    baselines = load_dir(baselines_dir, "baselines")
+    rows: list[Comparison] = []
+    for name in sorted(set(results) | set(baselines)):
+        if name not in baselines:
+            rows.append(
+                Comparison(name, "*", _DEFAULT, None, None, "new")
+            )
+            continue
+        if name not in results:
+            continue  # not regenerated in this run — not a failure
+        rows.extend(compare_metrics(name, baselines[name], results[name], sigmas))
+    failed = any(
+        row.fails or (strict and row.verdict in ("warn", "missing"))
+        for row in rows
+    )
+    return rows, not failed
+
+
+_MARKS = {
+    "ok": "ok",
+    "improved": "improved",
+    "regression": "REGRESSION",
+    "warn": "warn",
+    "new": "new",
+    "missing": "missing",
+}
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
+def format_table(rows: list[Comparison], verbose: bool = False) -> str:
+    """A text comparison table (only non-ok rows unless ``verbose``)."""
+    shown = [
+        row
+        for row in rows
+        if verbose or row.verdict not in ("ok", "improved")
+    ]
+    lines = [
+        f"{'artifact':<32} {'metric':<34} {'baseline':>12} {'current':>12} "
+        f"{'thresh':>10} {'gate':<10} verdict"
+    ]
+    for row in rows if verbose else shown:
+        base = _fmt(row.baseline.mean if row.baseline else None)
+        lines.append(
+            f"{row.name:<32} {row.key:<34} {base:>12} {_fmt(row.value):>12} "
+            f"{_fmt(row.threshold):>10} {row.gate.label:<10} "
+            f"{_MARKS[row.verdict]}"
+        )
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[row.verdict] = counts.get(row.verdict, 0) + 1
+    lines.append(
+        "summary: "
+        + ", ".join(f"{count} {verdict}" for verdict, count in sorted(counts.items()))
+    )
+    return "\n".join(lines)
+
+
+def format_markdown(rows: list[Comparison]) -> str:
+    """A GitHub-flavored Markdown table for the CI job summary."""
+    lines = [
+        "### Benchmark regression gate",
+        "",
+        "| artifact | metric | baseline | current | gate | verdict |",
+        "|---|---|---:|---:|---|---|",
+    ]
+    for row in rows:
+        if row.verdict == "ok":
+            continue
+        base = _fmt(row.baseline.mean if row.baseline else None)
+        mark = _MARKS[row.verdict]
+        if row.verdict == "regression":
+            mark = f"**{mark}**"
+        lines.append(
+            f"| {row.name} | `{row.key}` | {base} | {_fmt(row.value)} | "
+            f"{row.gate.label} | {mark} |"
+        )
+    if len(lines) == 4:
+        lines.append("| _all metrics_ | | | | | ok |")
+    counts: dict[str, int] = {}
+    for row in rows:
+        counts[row.verdict] = counts.get(row.verdict, 0) + 1
+    lines.append("")
+    lines.append(
+        ", ".join(f"{count} {verdict}" for verdict, count in sorted(counts.items()))
+    )
+    return "\n".join(lines)

@@ -49,7 +49,9 @@ def matvec_naive(
     n = basis.n_locales
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
-    metrics = current_telemetry().metrics
+    tele = current_telemetry()
+    metrics = tele.metrics
+    trace = tele.trace if tele.trace.enabled else None
 
     n_diag = apply_diagonal(op, basis, x, y)
     for locale in range(n):
@@ -62,6 +64,7 @@ def matvec_naive(
     generate_time = np.zeros(n)
     incoming_elements = np.zeros(n, dtype=np.int64)
     outgoing_elements = np.zeros(n, dtype=np.int64)
+    pair_elements = np.zeros((n, n), dtype=np.int64)
     for locale in range(n):
         count = int(basis.counts[locale])
         for start in range(0, count, batch_size):
@@ -82,6 +85,7 @@ def matvec_naive(
                 )
                 outgoing_elements[locale] += betas.size
                 incoming_elements[dest] += betas.size
+                pair_elements[locale, dest] += betas.size
                 report.messages += betas.size
                 report.bytes_sent += betas.size * ELEMENT_BYTES
                 metrics.counter(
@@ -97,6 +101,7 @@ def matvec_naive(
     # tasks (search + accumulate) share the destination's cores.
     net = machine.network
     per_locale = np.zeros(n)
+    trace_end = 0.0
     for locale in range(n):
         nic_in = incoming_elements[locale] * net.transfer_time(ELEMENT_BYTES)
         task_time = machine.compute_time(
@@ -109,8 +114,49 @@ def matvec_naive(
         ledger.add("generate", locale, generate_time[locale])
         ledger.add("remote-tasks", locale, task_time)
         ledger.add("nic", locale, max(nic_in, nic_out))
+        if trace is not None:
+            # The naive variant is effectively serialized per locale:
+            # generate everything, then drain the per-element sends through
+            # the NIC, then run the spawned remote tasks.  Spans mirror that
+            # (no compute/communication overlap, unlike the pipeline).
+            process = f"locale{locale}"
+            t = 0.0
+            if generate_time[locale] > 0.0:
+                trace.complete(
+                    (process, "worker0"), "generate", t, generate_time[locale]
+                )
+            t += generate_time[locale]
+            for dest in range(n):
+                elements = int(pair_elements[locale, dest])
+                if elements == 0:
+                    continue
+                duration = (
+                    0.0
+                    if dest == locale
+                    else elements * net.transfer_time(ELEMENT_BYTES)
+                )
+                trace.complete(
+                    (process, "net"),
+                    "send",
+                    t,
+                    duration,
+                    {
+                        "src": locale,
+                        "dst": dest,
+                        "bytes": elements * ELEMENT_BYTES,
+                        "msgs": elements,
+                    },
+                )
+                t += duration
+            if task_time > 0.0:
+                trace.complete(
+                    (process, "worker0"), "remote-tasks", t, task_time
+                )
+            trace_end = max(trace_end, t + task_time)
     report.elapsed = float(per_locale.max()) if n else 0.0
     report.merge_phase("matvec", report.elapsed)
+    if trace is not None:
+        trace.advance(max(report.elapsed, trace_end))
     report.extras["n_diag"] = float(n_diag)
     report.extras["elements"] = float(outgoing_elements.sum())
     if metrics.enabled:

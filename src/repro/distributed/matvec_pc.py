@@ -245,12 +245,21 @@ def matvec_producer_consumer(
                         betas.size
                     )
                     state.inflight += 1
+                    comm_args = (
+                        {"src": locale, "dst": dest, "bytes": nbytes, "msgs": 1}
+                        if trace is not None
+                        else None
+                    )
                     if dest == locale:
-                        yield Timeout(machine.memcpy_time(nbytes, 1), "memcpy")
+                        yield Timeout(
+                            machine.memcpy_time(nbytes, 1), "memcpy", comm_args
+                        )
                         ready[dest].push(rb)
                     else:
                         yield Acquire(nic[locale])
-                        yield Timeout(net.transfer_time(nbytes), "send")
+                        yield Timeout(
+                            net.transfer_time(nbytes), "send", comm_args
+                        )
                         nic[locale].release()
                         # The "buffer is full" notification is an active
                         # message handled by the runtime (fastOn).
@@ -330,7 +339,9 @@ def _shared_memory_matvec(
 ) -> tuple[DistributedVector, SimReport]:
     """Single-locale mode: all cores generate and consume (no pipeline)."""
     machine = basis.cluster.machine
-    metrics = current_telemetry().metrics
+    tele = current_telemetry()
+    metrics = tele.metrics
+    trace = tele.trace if tele.trace.enabled else None
     apply_diagonal(op, basis, x, y)
     count = int(basis.counts[0])
     gen_work = 0.0
@@ -354,6 +365,22 @@ def _shared_memory_matvec(
     report.ledger.add("search+accum", 0, search_work)
     report.extras["producers"] = float(cores)
     report.extras["consumers"] = float(cores)
+    if trace is not None:
+        # Sequential shared-memory phases on one worker track; the offset
+        # still advances by the full elapsed time so successive operations
+        # (e.g. warm plan replays that record few events) stay monotone on
+        # the global timeline.
+        track = ("locale0", "worker0")
+        t = 0.0
+        for name, work in (
+            ("generate", gen_work),
+            ("search+accum", search_work),
+            ("diagonal", diag_work),
+        ):
+            if work > 0.0:
+                trace.complete(track, name, t, work / cores)
+                t += work / cores
+        trace.advance(elapsed)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

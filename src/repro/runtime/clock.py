@@ -146,6 +146,8 @@ class BSPTimer:
         self._compute = np.zeros(self.n_locales)
         self._out_time = np.zeros(self.n_locales)
         self._in_time = np.zeros(self.n_locales)
+        #: (src, dst) -> [messages, bytes] for the current phase (trace args)
+        self._comm: dict[tuple[int, int], list[int]] = {}
 
     def add_compute(self, locale: int, seconds: float) -> None:
         self._compute[locale] += seconds
@@ -158,6 +160,10 @@ class BSPTimer:
         self._metrics.counter(
             f"{self.name}.bytes", src=src, dst=dst
         ).inc(int(nbytes))
+        if self._trace is not None:
+            entry = self._comm.setdefault((src, dst), [0, 0])
+            entry[0] += 1
+            entry[1] += int(nbytes)
         if src == dst:
             # Local "transfer": a memcpy, charged as compute.
             self._compute[src] += self.machine.memcpy_time(nbytes)
@@ -181,8 +187,23 @@ class BSPTimer:
             for locale in range(self.n_locales):
                 busy = float(per_locale[locale])
                 if busy > 0.0:
+                    # Each span carries this locale's outgoing traffic as
+                    # ``args["comm"] = [[src, dst, bytes, msgs], ...]`` so
+                    # trace analysis recovers the full communication matrix
+                    # without heuristics.
+                    comm = [
+                        [src, dst, nbytes, msgs]
+                        for (src, dst), (msgs, nbytes) in sorted(
+                            self._comm.items()
+                        )
+                        if src == locale
+                    ]
                     self._trace.complete(
-                        (f"locale{locale}", self.name), name, 0.0, busy
+                        (f"locale{locale}", self.name),
+                        name,
+                        0.0,
+                        busy,
+                        {"comm": comm} if comm else None,
                     )
             self._trace.advance(elapsed)
         if self._metrics.enabled:

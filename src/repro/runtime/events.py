@@ -59,6 +59,10 @@ class Timeout:
     delay: float
     #: optional span name for the trace (busy work, e.g. "generate")
     label: str | None = None
+    #: optional span args for the trace (e.g. {"src": 0, "dst": 3,
+    #: "bytes": 65536, "msgs": 1} on a "send" span) — only recorded when
+    #: ``label`` is set
+    args: "dict | None" = None
 
 
 @dataclass(frozen=True)
@@ -313,6 +317,7 @@ class Simulator:
                     command.label,
                     self.now,
                     max(command.delay, 0.0),
+                    command.args,
                 )
             self._schedule(max(command.delay, 0.0), process, None)
         elif isinstance(command, WaitFlag):

@@ -126,6 +126,20 @@ class GroupKernel:
             jobs.append((tag, payload, tagged))
         self._jobs = jobs
         self.n_distinct_permutations = len(jobs)
+        #: distinct permutations per application strategy (telemetry:
+        #: ``kernel.state_info_strategy{strategy=...}`` counts one per
+        #: strategy per call, so ``repro-inspect`` can show which dispatch
+        #: paths actually run)
+        _names = {
+            "id": "identity",
+            "rot": "rotation",
+            "revrot": "reversed-rotation",
+            "net": "network",
+        }
+        self.strategy_counts: dict[str, int] = {}
+        for tag, _, _ in jobs:
+            label = _names[tag]
+            self.strategy_counts[label] = self.strategy_counts.get(label, 0) + 1
         table = np.asarray(phase_chars, dtype=np.complex128)
         self._phase_table = table.real.copy() if self.is_real else table
         # The shared reversed batch is produced by the reversal permutation's
@@ -224,4 +238,8 @@ class GroupKernel:
                 perf_counter() - t0
             )
             metrics.counter("kernel.state_info_states").inc(s.size)
+            for strategy, count in self.strategy_counts.items():
+                metrics.counter(
+                    "kernel.state_info_strategy", strategy=strategy
+                ).inc(count)
         return rep, phase, stab

@@ -16,6 +16,11 @@ ambient through :func:`~repro.telemetry.context.use`:
 Both have no-op implementations, installed by default, so disabled
 telemetry costs approximately nothing.  See ``docs/OBSERVABILITY.md`` for
 the trace schema and the metric-name catalogue.
+
+Post-mortem analysis lives in :mod:`repro.telemetry.analysis`
+(:func:`analyze_trace`, the ``repro-inspect`` CLI): per-locale span
+accounting, pipeline overlap efficiency, load-imbalance index, critical
+path, and the locale×locale communication matrix.
 """
 
 from repro.telemetry.context import (
@@ -49,4 +54,28 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "TraceAnalysis",
+    "analyze_trace",
+    "communication_matrix_from_metrics",
+    "load_spans",
 ]
+
+_ANALYSIS_EXPORTS = {
+    "TraceAnalysis",
+    "analyze_trace",
+    "communication_matrix_from_metrics",
+    "load_spans",
+}
+
+
+def __getattr__(name: str):
+    # Lazy so that `python -m repro.telemetry.analysis` does not import
+    # the module twice (runpy would warn), and plain telemetry users
+    # don't pay for the analysis machinery.
+    if name in _ANALYSIS_EXPORTS:
+        from repro.telemetry import analysis
+
+        return getattr(analysis, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

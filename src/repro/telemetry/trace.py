@@ -69,7 +69,18 @@ class TraceRecorder:
     # -- recording ---------------------------------------------------------
 
     def advance(self, seconds: float) -> None:
-        """Shift the global timeline forward (end of one simulation)."""
+        """Shift the global timeline forward (end of one simulation).
+
+        The offset is the recorder's running clock: it must never move
+        backwards, or spans of successive operations (an empty sector, a
+        cached-plan replay that records zero events) would overlap on the
+        global timeline.  Negative shifts are therefore rejected.
+        """
+        if seconds < 0.0:
+            raise ValueError(
+                f"cannot advance the trace offset by {seconds!r} s: the "
+                "global timeline must be monotone"
+            )
         self.offset += seconds
 
     def complete(

@@ -1,0 +1,336 @@
+"""Tests for the trace-analysis layer (``repro.telemetry.analysis``).
+
+The math is checked on hand-built synthetic traces where every verdict is
+known in closed form — a perfectly overlapped vs a fully serialized
+two-locale pipeline, a skewed busy-time distribution, a critical path
+through a known DAG — and then on real traced matvec runs: the
+producer-consumer pipeline must report strictly better overlap than the
+naive per-element variant on the same input, the communication matrix
+must match the simulation report's byte counts, and the global trace
+offset must stay monotone across warm plan-cached replays (the
+regression the ``advance`` guard protects against).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.basis import SymmetricBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+from repro.telemetry import (
+    MetricsRegistry,
+    Telemetry,
+    TraceRecorder,
+    analyze_trace,
+    communication_matrix_from_metrics,
+)
+from repro.telemetry.analysis import load_spans, main as inspect_main
+
+
+def _span(trace, locale, thread, name, start, duration, args=None):
+    trace.complete((f"locale{locale}", thread), name, start, duration, args)
+
+
+class TestOverlapEfficiency:
+    def test_perfectly_overlapped_pipeline(self):
+        """Compute and send unions coincide on both locales: overlap 1."""
+        trace = TraceRecorder()
+        for locale in range(2):
+            _span(trace, locale, "worker0", "generate", 0.0, 4.0)
+            _span(trace, locale, "net", "send", 0.0, 4.0)
+        analysis = analyze_trace(trace)
+        assert analysis.overlap_efficiency == pytest.approx(1.0)
+        for acct in analysis.per_locale.values():
+            assert acct["overlap_efficiency"] == pytest.approx(1.0)
+
+    def test_fully_serialized_pipeline(self):
+        """Send strictly after compute on both locales: overlap 0."""
+        trace = TraceRecorder()
+        for locale in range(2):
+            _span(trace, locale, "worker0", "generate", 0.0, 4.0)
+            _span(trace, locale, "net", "send", 4.0, 2.0)
+        analysis = analyze_trace(trace)
+        assert analysis.overlap_efficiency == pytest.approx(0.0)
+
+    def test_partial_overlap_aggregates_over_locales(self):
+        """Locale 0 hides 1 of 2 send seconds, locale 1 hides both:
+        aggregate = (1 + 2) / (2 + 2)."""
+        trace = TraceRecorder()
+        _span(trace, 0, "worker0", "generate", 0.0, 4.0)
+        _span(trace, 0, "net", "send", 3.0, 2.0)
+        _span(trace, 1, "worker0", "generate", 0.0, 4.0)
+        _span(trace, 1, "net", "send", 1.0, 2.0)
+        analysis = analyze_trace(trace)
+        assert analysis.per_locale[0]["overlap_efficiency"] == pytest.approx(0.5)
+        assert analysis.per_locale[1]["overlap_efficiency"] == pytest.approx(1.0)
+        assert analysis.overlap_efficiency == pytest.approx(0.75)
+
+    def test_stall_and_idle_are_not_compute(self):
+        trace = TraceRecorder()
+        _span(trace, 0, "producer0", "generate", 0.0, 2.0)
+        _span(trace, 0, "producer0", "stall", 2.0, 1.0)
+        _span(trace, 0, "producer0", "wait:nic0", 3.0, 0.5)
+        _span(trace, 0, "consumer0", "idle", 0.0, 3.0)
+        analysis = analyze_trace(trace)
+        acct = analysis.per_locale[0]
+        assert acct["compute"] == pytest.approx(2.0)
+        assert acct["stall"] == pytest.approx(1.5)
+        assert acct["idle"] == pytest.approx(3.0)
+        # stall / (busy + stall + idle)
+        assert analysis.stall_fraction == pytest.approx(1.5 / 6.5)
+
+    def test_non_locale_processes_are_excluded(self):
+        """Solver / sim / queue tracks never pollute locale accounting."""
+        trace = TraceRecorder()
+        _span(trace, 0, "worker0", "generate", 0.0, 1.0)
+        trace.complete(("solver", "lanczos"), "matvec", 0.0, 50.0)
+        trace.complete(("sim", "closer"), "stall", 0.0, 50.0)
+        analysis = analyze_trace(trace)
+        assert analysis.n_locales == 1
+        assert analysis.makespan == pytest.approx(1.0)
+        assert analysis.stall_fraction == pytest.approx(0.0)
+
+
+class TestImbalance:
+    def test_skewed_distribution(self):
+        """Busy times 1/2/9 over three locales: max/mean = 9/4."""
+        trace = TraceRecorder()
+        for locale, busy in enumerate((1.0, 2.0, 9.0)):
+            _span(trace, locale, "worker0", "generate", 0.0, busy)
+        analysis = analyze_trace(trace)
+        assert analysis.imbalance_index == pytest.approx(9.0 / 4.0)
+
+    def test_balanced_distribution_is_one(self):
+        trace = TraceRecorder()
+        for locale in range(4):
+            _span(trace, locale, "worker0", "generate", 0.0, 3.0)
+        analysis = analyze_trace(trace)
+        assert analysis.imbalance_index == pytest.approx(1.0)
+
+
+class TestCriticalPath:
+    def test_known_dag(self):
+        """Two chains through the timeline: [0,2)+[2,5) = 5 beats
+        [0,1)+[1,2)+[4,6) = 4; utilization = 5/6."""
+        trace = TraceRecorder()
+        _span(trace, 0, "worker0", "a", 0.0, 2.0)
+        _span(trace, 0, "worker0", "b", 2.0, 3.0)
+        _span(trace, 1, "worker0", "c", 0.0, 1.0)
+        _span(trace, 1, "worker0", "d", 1.0, 1.0)
+        _span(trace, 1, "worker0", "e", 4.0, 2.0)
+        analysis = analyze_trace(trace)
+        assert analysis.critical_path_seconds == pytest.approx(5.0)
+        assert [s.name for s in analysis.critical_path] == ["a", "b"]
+        assert analysis.critical_path_utilization == pytest.approx(5.0 / 6.0)
+
+    def test_chain_respects_time_order(self):
+        """The chain may hop locales but never runs backwards in time."""
+        trace = TraceRecorder()
+        _span(trace, 0, "worker0", "a", 0.0, 2.0)
+        _span(trace, 1, "worker0", "b", 2.5, 2.0)
+        _span(trace, 0, "worker0", "c", 5.0, 2.0)
+        analysis = analyze_trace(trace)
+        assert [s.name for s in analysis.critical_path] == ["a", "b", "c"]
+        assert analysis.critical_path_seconds == pytest.approx(6.0)
+
+    def test_zero_duration_spans_do_not_cycle(self):
+        trace = TraceRecorder()
+        _span(trace, 0, "net", "send", 1.0, 0.0)
+        _span(trace, 0, "worker0", "a", 0.0, 1.0)
+        _span(trace, 0, "worker0", "b", 1.0, 1.0)
+        analysis = analyze_trace(trace)
+        assert analysis.critical_path_seconds == pytest.approx(2.0)
+
+
+class TestCommunicationMatrix:
+    def test_from_span_args(self):
+        trace = TraceRecorder()
+        _span(trace, 0, "net", "send", 0.0, 1.0,
+              {"src": 0, "dst": 1, "bytes": 100, "msgs": 2})
+        _span(trace, 0, "net", "send", 1.0, 1.0,
+              {"src": 0, "dst": 1, "bytes": 50, "msgs": 1})
+        _span(trace, 1, "net", "send", 0.0, 1.0,
+              {"src": 1, "dst": 0, "bytes": 30, "msgs": 3})
+        analysis = analyze_trace(trace)
+        assert analysis.comm_matrix("bytes") == [[0.0, 150.0], [30.0, 0.0]]
+        assert analysis.comm_matrix("msgs") == [[0.0, 3.0], [3.0, 0.0]]
+
+    def test_from_bsp_comm_lists(self):
+        """BSP phase spans carry args["comm"] = [[src, dst, bytes, msgs]]."""
+        trace = TraceRecorder()
+        _span(trace, 0, "convert", "phase", 0.0, 1.0,
+              {"comm": [[0, 1, 64, 2], [0, 0, 8, 1]]})
+        analysis = analyze_trace(trace)
+        assert analysis.comm[(0, 1)] == [64.0, 2.0]
+        assert analysis.comm[(0, 0)] == [8.0, 1.0]
+
+    def test_from_metrics_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.counter("matvec.bytes", src=0, dst=1).inc(128)
+        metrics.counter("matvec.messages", src=0, dst=1).inc(4)
+        metrics.counter("matvec.bytes", src=1, dst=0).inc(32)
+        metrics.counter("other.things").inc(7)
+        comm = communication_matrix_from_metrics(metrics.snapshot())
+        assert comm[(0, 1)] == [128.0, 4.0]
+        assert comm[(1, 0)] == [32.0, 0.0]
+
+    def test_metrics_fill_in_when_trace_has_no_args(self):
+        trace = TraceRecorder()
+        _span(trace, 0, "worker0", "generate", 0.0, 1.0)
+        metrics = MetricsRegistry()
+        metrics.counter("matvec.bytes", src=0, dst=1).inc(64)
+        analysis = analyze_trace(trace, metrics=metrics)
+        assert analysis.comm[(0, 1)][0] == 64.0
+
+
+@pytest.fixture(scope="module")
+def small_distributed():
+    group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+    template = SymmetricBasis(group, hamming_weight=6, build=False)
+    cluster = Cluster(3, laptop_machine(cores=4))
+    dbasis, _ = enumerate_states(cluster, template, chunks_per_core=3)
+    return dbasis
+
+
+def _traced_matvec(dbasis, method, repeats=1):
+    kwargs = {"batch_size": 32}
+    if method == "pc":
+        kwargs.update(
+            buffer_capacity=16, producers_per_locale=4, consumers_per_locale=1
+        )
+    dop = DistributedOperator(
+        repro.heisenberg_chain(12), dbasis, method=method, **kwargs
+    )
+    tele = Telemetry.enabled()
+    with telemetry.use(tele):
+        x = DistributedVector.full_random(dbasis, seed=0)
+        for _ in range(repeats):
+            dop.matvec(x)
+    return tele, dop
+
+
+class TestRealTraces:
+    def test_pc_overlap_strictly_above_naive(self, small_distributed):
+        analyses = {}
+        for method in ("pc", "naive"):
+            tele, _ = _traced_matvec(small_distributed, method)
+            analyses[method] = analyze_trace(
+                tele.trace, metrics=tele.metrics
+            )
+        assert (
+            analyses["pc"].overlap_efficiency
+            > analyses["naive"].overlap_efficiency
+        )
+        # the naive variant is strictly serialized per locale
+        assert analyses["naive"].overlap_efficiency == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("method", ["naive", "batched", "pc"])
+    def test_comm_matrix_matches_report_totals(self, small_distributed, method):
+        tele, dop = _traced_matvec(small_distributed, method)
+        analysis = analyze_trace(tele.trace)
+        report = dop.last_report
+        assert sum(e[0] for e in analysis.comm.values()) == pytest.approx(
+            report.bytes_sent
+        )
+        assert sum(e[1] for e in analysis.comm.values()) == pytest.approx(
+            report.messages
+        )
+
+    @pytest.mark.parametrize("method", ["naive", "batched", "pc"])
+    def test_plan_counters_reach_the_report(self, small_distributed, method):
+        tele, _ = _traced_matvec(small_distributed, method, repeats=2)
+        analysis = analyze_trace(tele.trace, metrics=tele.metrics)
+        assert analysis.counters.get("plan.misses", 0) > 0
+        assert analysis.counters.get("plan.hits", 0) > 0  # warm replay
+        assert any(
+            key.startswith("kernel.state_info_strategy") for key in analysis.counters
+        )
+
+
+class TestOffsetMonotonicity:
+    """Regression tests for the global-timeline guarantee: successive
+    operations stack strictly after one another even when a warm plan
+    cache makes the second one record very few events."""
+
+    def test_advance_rejects_negative(self):
+        trace = TraceRecorder()
+        with pytest.raises(ValueError):
+            trace.advance(-1e-9)
+
+    @pytest.mark.parametrize("method", ["naive", "batched", "pc"])
+    def test_warm_replay_stacks_after_cold_run(self, small_distributed, method):
+        tele, dop = _traced_matvec(small_distributed, method, repeats=2)
+        assert dop.plan is not None and dop.plan.n_entries > 0
+        assert tele.metrics.snapshot().counter_total("plan.hits") > 0
+        spans = load_spans(tele.trace)
+        locale_spans = [s for s in spans if s.locale is not None]
+        assert locale_spans
+        # offset advanced past every recorded span
+        assert tele.trace.offset >= max(s.end for s in locale_spans) - 1e-9
+        assert tele.trace.offset > 0.0
+
+    def test_empty_operation_still_advances(self, small_distributed):
+        """An operation recording zero locale events must not rewind or
+        freeze the clock for its successors."""
+        tele = Telemetry.enabled()
+        with telemetry.use(tele):
+            before = tele.trace.offset
+            tele.trace.advance(0.0)  # legal no-op
+            assert tele.trace.offset == before
+
+
+class TestInspectCLI:
+    @pytest.fixture(scope="class")
+    def trace_path(self, small_distributed, tmp_path_factory):
+        tele, _ = _traced_matvec(small_distributed, "pc")
+        path = tmp_path_factory.mktemp("inspect") / "trace.json"
+        tele.trace.save(path)
+        metrics_path = path.parent / "metrics.json"
+        metrics_path.write_text(
+            json.dumps(tele.metrics.snapshot().to_json())
+        )
+        return path, metrics_path
+
+    def test_text_report(self, trace_path, capsys):
+        path, metrics_path = trace_path
+        assert inspect_main([str(path), "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "overlap efficiency" in out
+        assert "load-imbalance index" in out
+        assert "communication matrix (bytes" in out
+        assert "plan.misses" in out
+
+    def test_json_report(self, trace_path, capsys):
+        path, _ = trace_path
+        assert inspect_main([str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["n_locales"] == 3
+        assert 0.0 < report["overlap_efficiency"] <= 1.0
+        assert len(report["communication"]["bytes"]) == 3
+
+    def test_diff_traces(self, trace_path, small_distributed, capsys, tmp_path):
+        path, _ = trace_path
+        tele, _ = _traced_matvec(small_distributed, "naive")
+        other = tmp_path / "naive.json"
+        tele.trace.save(other)
+        assert inspect_main(["diff", str(other), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "overlap_efficiency" in out
+
+    def test_diff_metrics(self, trace_path, capsys):
+        _, metrics_path = trace_path
+        assert (
+            inspect_main(["diff", str(metrics_path), str(metrics_path)]) == 0
+        )
+        assert "no differences" in capsys.readouterr().out
