@@ -1,0 +1,163 @@
+"""Seeded chaos harness for the self-healing distributed matvec.
+
+Runs every matvec variant (naive / batched / producer-consumer) on the
+16-site chain sector under several deterministic fault plans and checks
+the resilience contract of ``docs/RESILIENCE.md``:
+
+- every (plan, variant) run either *recovers* — the result matches the
+  fault-free reference to 1e-10 — or raises a typed
+  :class:`~repro.errors.FaultError`; it never hangs and never returns
+  silently wrong amplitudes;
+- the fault-free overhead of the resilient protocol (sequence numbers,
+  CRC32 checksums, acknowledgement tracking) stays within 5% of the
+  plain pipeline's simulated time.
+
+Both the plain and the resilient fault-free simulated seconds are pure
+functions of the code and the machine model, so the checked-in baseline
+(``benchmarks/baselines/chaos_smoke.json``) gates them hard: drifting
+either one beyond the relative floor fails CI, which bounds the overhead
+ratio as a side effect of bounding its numerator and denominator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import write_result
+from repro import telemetry
+from repro.distributed import DistributedOperator, DistributedVector
+from repro.errors import FaultError
+from repro.resilience import FaultPlan, ResilienceConfig
+from repro.telemetry import Telemetry
+
+VARIANTS = ("naive", "batched", "pc")
+
+#: Seeded chaos menu: drops + delays, corruption + duplication, and a
+#: straggler + mid-flight crash (recovered via restart or pc->batched
+#: fallback because crash specs are one-shot).
+FAULT_PLANS = {
+    "drops": dict(seed=11, drop=0.05, delay=0.2, max_delay=1e-4),
+    "corruption": dict(seed=12, duplicate=0.05, corrupt=0.03),
+    "crash": dict(seed=13, stragglers={1: 2.5}, crashes={2: 1e-5}),
+}
+
+
+def _variant_kwargs(method: str) -> dict:
+    kwargs = {"batch_size": 256}
+    if method == "pc":
+        kwargs.update(buffer_capacity=64)
+    return kwargs
+
+
+@pytest.fixture(scope="module")
+def chaos_results(chain16_setup):
+    """variant -> timing + recovery summary under the chaos menu."""
+    serial, dbasis, _ = chain16_setup
+    expr = repro.heisenberg_chain(16)
+    x = DistributedVector.full_random(dbasis, seed=7)
+    out = {}
+    for method in VARIANTS:
+        kwargs = _variant_kwargs(method)
+        plain_op = DistributedOperator(expr, dbasis, method=method, **kwargs)
+        reference = plain_op.matvec(x).to_serial(serial)
+        plain_elapsed = plain_op.last_report.elapsed
+
+        # Fault-free overhead of the protocol itself (checksums, seqs, acks).
+        resilient_op = DistributedOperator(
+            expr, dbasis, method=method,
+            resilience=ResilienceConfig(), **kwargs,
+        )
+        y = resilient_op.matvec(x).to_serial(serial)
+        np.testing.assert_allclose(y, reference, atol=1e-12)
+        resilient_elapsed = resilient_op.last_report.elapsed
+        overhead = resilient_elapsed / plain_elapsed
+
+        recovered = 0
+        failed = 0
+        retransmits = 0.0
+        for plan_name, spec in FAULT_PLANS.items():
+            tele = Telemetry.enabled()
+            with telemetry.use(tele):
+                op = DistributedOperator(
+                    expr, dbasis, method=method,
+                    faults=FaultPlan(**spec), **kwargs,
+                )
+                try:
+                    result = op.matvec(x).to_serial(serial)
+                except FaultError:
+                    failed += 1
+                    continue
+            err = float(np.abs(result - reference).max())
+            assert err <= 1e-10, (
+                f"{method} under plan {plan_name!r}: silently wrong result "
+                f"(max error {err:.3g})"
+            )
+            recovered += 1
+            retransmits += tele.metrics.snapshot().counter_total(
+                "recovery.retransmits"
+            )
+        out[method] = {
+            "plain_simulated_seconds": plain_elapsed,
+            "resilient_simulated_seconds": resilient_elapsed,
+            "overhead_ratio": overhead,
+            "recovered": recovered,
+            "failed": failed,
+            "retransmits": retransmits,
+        }
+    return out
+
+
+def test_every_plan_recovers_or_faults(chaos_results):
+    n_plans = len(FAULT_PLANS)
+    for method, row in chaos_results.items():
+        assert row["recovered"] + row["failed"] == n_plans
+        # The chaos menu is recoverable by design: drops/corruption heal
+        # via retransmits, the crash heals via restart or fallback.
+        assert row["recovered"] == n_plans, (
+            f"{method} failed {row['failed']} of {n_plans} recoverable plans"
+        )
+
+
+def test_fault_free_overhead_within_5_percent(chaos_results):
+    for method, row in chaos_results.items():
+        assert row["overhead_ratio"] <= 1.05, (
+            f"{method}: resilient fault-free run costs "
+            f"{(row['overhead_ratio'] - 1) * 100:.2f}% over plain "
+            "(budget: 5%)"
+        )
+
+
+def test_exhausted_budgets_raise_typed_faults(chain16_setup):
+    """With recovery disabled, a crash surfaces as FaultError — not a hang,
+    not a wrong answer."""
+    serial, dbasis, _ = chain16_setup
+    expr = repro.heisenberg_chain(16)
+    x = DistributedVector.full_random(dbasis, seed=7)
+    for method in VARIANTS:
+        op = DistributedOperator(
+            expr, dbasis, method=method,
+            faults=FaultPlan(seed=5, crashes={0: 1e-6}),
+            resilience=ResilienceConfig(
+                fallback_to_batched=False, matvec_restarts=0
+            ),
+            **_variant_kwargs(method),
+        )
+        with pytest.raises(FaultError):
+            op.matvec(x)
+
+
+def test_chaos_smoke_artifact(chaos_results):
+    lines = [
+        f"{'variant':<10} {'plain[s]':>12} {'resilient[s]':>13} "
+        f"{'overhead':>9} {'recovered':>10} {'failed':>7}"
+    ]
+    for method, row in chaos_results.items():
+        lines.append(
+            f"{method:<10} {row['plain_simulated_seconds']:>12.6g} "
+            f"{row['resilient_simulated_seconds']:>13.6g} "
+            f"{row['overhead_ratio']:>9.4f} {row['recovered']:>10d} "
+            f"{row['failed']:>7d}"
+        )
+    write_result("chaos_smoke", "\n".join(lines), chaos_results)

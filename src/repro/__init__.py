@@ -92,6 +92,7 @@ from repro.linalg import (
 )
 from repro.baselines import SpinpackBasis, SpinpackOperator
 from repro import telemetry
+from repro.resilience import FaultPlan, ResilienceConfig
 from repro.telemetry import MetricsRegistry, Telemetry, TraceRecorder
 
 __version__ = "1.0.0"
@@ -101,7 +102,9 @@ __all__ = [
     "SpinBasis",
     "SymmetricBasis",
     "Expression",
+    "FaultPlan",
     "Operator",
+    "ResilienceConfig",
     "compile_expression",
     "heisenberg",
     "heisenberg_chain",

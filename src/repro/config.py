@@ -37,6 +37,19 @@ Command-line flags:
     Collect counters/gauges/histograms (bytes per locale pair, batch-size
     and stall distributions, Lanczos residuals) and write the snapshot as
     JSON to ``PATH``; a text table is also printed to stderr.
+``--faults PATH``
+    Inject a seeded fault plan (JSON with ``seed``, ``drop``,
+    ``duplicate``, ``corrupt``, ``delay``/``max_delay``, ``stragglers``,
+    ``crashes`` keys — see :class:`repro.resilience.FaultPlan`) into the
+    simulated cluster; the matvec recovery protocol and its
+    ``fault.*``/``recovery.*`` metrics activate automatically.
+``--checkpoint DIR`` / ``--resume``
+    Periodically snapshot the Krylov solver state under ``DIR`` and
+    restart from the newest checkpoint (``docs/RESILIENCE.md``).
+
+The ``cluster`` section accepts ``faults`` and ``resilience``
+sub-sections with the same keys, and the ``solver`` section accepts
+``checkpoint: {"dir": ..., "every": 10, "keep": 2, "resume": false}``.
 
 See ``docs/OBSERVABILITY.md`` for the trace schema and metric names.
 """
@@ -221,6 +234,17 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
     k = int(options.pop("k", 1))
     tol = float(options.pop("tol", 1e-10))
     max_iter = int(options.pop("max_iter", 500))
+    checkpoint = options.pop("checkpoint", None)
+    checkpoint_kwargs = {}
+    if checkpoint:
+        if "dir" not in checkpoint:
+            raise ReproError("solver checkpoint section needs a 'dir' key")
+        checkpoint_kwargs = {
+            "checkpoint_dir": checkpoint["dir"],
+            "checkpoint_every": int(checkpoint.get("every", 10)),
+            "checkpoint_keep": int(checkpoint.get("keep", 2)),
+            "resume": bool(checkpoint.get("resume", False)),
+        }
 
     if spec.distributed:
         from repro.distributed.enumeration import enumerate_states
@@ -228,15 +252,31 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
         from repro.runtime.cluster import Cluster
         from repro.runtime.machine import laptop_machine, snellius_machine
 
+        from repro.resilience.faults import FaultPlan, ResilienceConfig
+
         cluster_options = dict(spec.cluster_options)
         n_locales = int(cluster_options.pop("n_locales", 1))
+        faults_section = cluster_options.pop("faults", None)
+        resilience_section = cluster_options.pop("resilience", None)
         machine_name = cluster_options.pop("machine", "snellius")
         machine = (
             laptop_machine(**cluster_options)
             if machine_name == "laptop"
             else snellius_machine()
         )
-        cluster = Cluster(n_locales, machine)
+        faults = (
+            FaultPlan.from_config(faults_section)
+            if faults_section is not None
+            else None
+        )
+        resilience = (
+            ResilienceConfig.from_config(resilience_section)
+            if resilience_section is not None
+            else None
+        )
+        cluster = Cluster(
+            n_locales, machine, faults=faults, resilience=resilience
+        )
         dbasis, enum_report = enumerate_states(
             cluster, spec.basis, use_weight_shortcut=True
         )
@@ -248,6 +288,7 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
             tol=tol,
             max_iter=max_iter,
             compute_eigenvectors=bool(spec.observables),
+            **checkpoint_kwargs,
         )
         output = {
             "eigenvalues": result.eigenvalues.tolist(),
@@ -279,6 +320,7 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
         tol=tol,
         max_iter=max_iter,
         compute_eigenvectors=bool(spec.observables),
+        **checkpoint_kwargs,
     )
     output = {
         "eigenvalues": result.eigenvalues.tolist(),
@@ -350,8 +392,51 @@ def main(argv: list[str] | None = None) -> None:
         help="write the metrics snapshot (counters/gauges/histograms) as "
         "JSON to PATH; the text table goes to stderr",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="PATH",
+        default=None,
+        help="JSON file with a seeded fault plan (drop/duplicate/corrupt/"
+        "delay rates, stragglers, crashes) injected into the simulated "
+        "cluster; requires a 'cluster' section in the input",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="write periodic solver checkpoints under DIR "
+        "(overrides/creates the solver 'checkpoint' section)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the eigensolve from the newest checkpoint under the "
+        "--checkpoint directory (bit-for-bit continuation)",
+    )
     args = parser.parse_args(argv)
     spec = load_simulation(args.input)
+    if args.faults is not None:
+        if not spec.distributed:
+            raise ReproError(
+                "--faults requires a 'cluster' section in the input file"
+            )
+        spec.cluster_options["faults"] = json.loads(
+            Path(args.faults).read_text()
+        )
+    if args.resume and args.checkpoint is None and not (
+        spec.solver_options.get("checkpoint") or {}
+    ).get("dir"):
+        parser.error("--resume requires --checkpoint DIR")
+    if args.checkpoint is not None:
+        section = dict(spec.solver_options.get("checkpoint") or {})
+        section["dir"] = args.checkpoint
+        if args.resume:
+            section["resume"] = True
+        spec.solver_options["checkpoint"] = section
+    elif args.resume:
+        section = dict(spec.solver_options["checkpoint"])
+        section["resume"] = True
+        spec.solver_options["checkpoint"] = section
 
     if args.trace is None and args.metrics is None:
         print(json.dumps(run_simulation(spec, seed=args.seed), indent=2))

@@ -31,7 +31,9 @@ from repro.distributed.matvec_common import (
     produce_chunk,
 )
 from repro.distributed.vector import DistributedVector
+from repro.errors import FaultError
 from repro.operators.compile import CompiledOperator
+from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.telemetry.context import current as current_telemetry
 
@@ -48,11 +50,23 @@ def matvec_batched(
     y: DistributedVector | None = None,
     batch_size: int = 1 << 13,
     plan=None,
+    faults=None,
+    resilience=None,
 ) -> tuple[DistributedVector, SimReport]:
     """``y = H x`` with chunked generation and per-chunk remote tasks.
 
     ``plan`` (a :class:`~repro.operators.plan.MatvecPlan`) caches each
     chunk's x-independent data across calls.
+
+    With ``faults`` / ``resilience``, the analytic cost model charges the
+    recovery protocol per remote put: a dropped or checksum-rejected put
+    waits out a detection timeout and pays the transfer (plus pinning)
+    again; a duplicated put pays a discarded task spawn at the
+    destination; checksums cost CRC32 time on both ends; stragglers
+    stretch per-locale compute; a crash before the simulated finish
+    raises :class:`~repro.errors.FaultError` (this variant is the
+    fallback target of the producer-consumer pipeline, so its recovery
+    semantics must be total short of a crash).
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -63,6 +77,14 @@ def matvec_batched(
     tele = current_telemetry()
     metrics = tele.metrics
     trace = tele.trace if tele.trace.enabled else None
+
+    resilient = faults is not None or resilience is not None
+    if resilient and resilience is None:
+        resilience = ResilienceConfig()
+    crashes = faults.take_crashes() if faults is not None else {}
+    extra_nic = np.zeros(n)  # injected delays + retransmitted puts
+    extra_compute = np.zeros(n)  # checksums + duplicate-discard spawns
+    retry_wait = np.zeros(n)  # serialized detection-timeout windows
 
     apply_diagonal(op, basis, x, y)
     compute_busy = np.zeros(n)  # generation + partition + consumption
@@ -108,6 +130,10 @@ def matvec_batched(
                 pin = nbytes / PIN_BANDWIDTH  # fresh buffer every time
                 pair_bytes[locale, dest] += nbytes
                 pair_msgs[locale, dest] += 1
+                if resilient and resilience.checksums:
+                    crc = machine.checksum_time(nbytes)
+                    extra_compute[locale] += crc
+                    extra_compute[dest] += crc
                 if dest == locale:
                     compute_busy[locale] += machine.memcpy_time(nbytes) + pin
                 else:
@@ -115,15 +141,61 @@ def matvec_batched(
                     nic_out[locale] += cost
                     nic_in[dest] += cost
                     pair_time[locale, dest] += cost
+                    if faults is not None:
+                        fate = faults.message_fate(locale, dest)
+                        if fate.drop or fate.corrupt:
+                            # Detection timeout, then pay the put again.
+                            retry_wait[locale] += resilience.ack_timeout
+                            extra_nic[locale] += cost
+                            extra_nic[dest] += cost
+                            report.messages += 1
+                            report.bytes_sent += nbytes
+                            metrics.counter(
+                                "recovery.retransmits", src=locale, dst=dest
+                            ).inc()
+                            if fate.corrupt:
+                                metrics.counter(
+                                    "recovery.checksum_rejects",
+                                    src=locale, dst=dest,
+                                ).inc()
+                        if fate.duplicate:
+                            extra_compute[dest] += machine.compute_time(
+                                machine.task_spawn_overhead, 1
+                            )
+                            metrics.counter(
+                                "recovery.duplicates_discarded"
+                            ).inc()
+                        extra_nic[locale] += fate.extra_delay
+                        extra_nic[dest] += fate.extra_delay
                 spawn_and_search = machine.compute_time(
                     machine.t_search_accum, betas.size
                 ) + machine.compute_time(machine.task_spawn_overhead, 1)
                 compute_busy[dest] += spawn_and_search
                 ledger.add("consume", dest, spawn_and_search)
 
-    per_locale = np.maximum(compute_busy, np.maximum(nic_out, nic_in))
+    slow = (
+        np.array([faults.slowdown(locale) for locale in range(n)])
+        if faults is not None
+        else np.ones(n)
+    )
+    total_compute = (compute_busy + extra_compute) * slow
+    per_locale = (
+        np.maximum(total_compute, np.maximum(nic_out, nic_in) + extra_nic)
+        + retry_wait
+    )
     for locale in range(n):
-        ledger.add("nic", locale, float(max(nic_out[locale], nic_in[locale])))
+        ledger.add(
+            "nic",
+            locale,
+            float(max(nic_out[locale], nic_in[locale]) + extra_nic[locale]),
+        )
+        if resilient:
+            ledger.add(
+                "recovery", locale, float(extra_compute[locale] + retry_wait[locale])
+            )
+        straggler_extra = float(compute_busy[locale] * (slow[locale] - 1.0))
+        if straggler_extra > 0.0:
+            ledger.add("straggler", locale, straggler_extra)
     report.elapsed = float(per_locale.max()) if n else 0.0
     report.merge_phase("matvec", report.elapsed)
     if trace is not None:
@@ -156,6 +228,17 @@ def matvec_batched(
                 )
                 t += duration
         trace.advance(report.elapsed)
+    if resilient:
+        report.extras["resilient"] = 1.0
+    if crashes:
+        victim = min(crashes, key=crashes.get)
+        at = crashes[victim]
+        if at < report.elapsed:
+            faults.record_crash(victim)
+            raise FaultError(
+                f"locale {victim} crashed at t={at:.3g} before the batched "
+                f"matvec finished (t={report.elapsed:.3g})"
+            )
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

@@ -11,6 +11,7 @@ axis the paper explores.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,11 +30,37 @@ __all__ = [
     "apply_diagonal",
     "check_vectors",
     "result_dtype",
+    "payload_checksum",
+    "corrupted_copy",
     "ELEMENT_BYTES",
 ]
 
 #: Wire size of one (basis state, amplitude) pair: uint64 + float64.
 ELEMENT_BYTES = 16
+
+
+def payload_checksum(betas: np.ndarray, values: np.ndarray) -> int:
+    """CRC32 over one transferred amplitude batch (betas then values).
+
+    This is what the resilient protocol stamps on every
+    ``RemoteBuffer`` handoff; the consumer recomputes it over the wire
+    payload and discards (without acknowledging) on mismatch.
+    """
+    crc = zlib.crc32(betas.tobytes())
+    return zlib.crc32(values.tobytes(), crc) & 0xFFFFFFFF
+
+
+def corrupted_copy(values: np.ndarray) -> np.ndarray:
+    """A copy of ``values`` with one bit flipped (wire corruption).
+
+    Used by fault injection: the corrupted copy travels on the wire while
+    the producer keeps the clean payload for the retransmit.
+    """
+    wire = np.array(values, copy=True)
+    if wire.size:
+        raw = wire.view(np.uint8)
+        raw[0] ^= 0x40
+    return wire
 
 
 @dataclass

@@ -22,7 +22,9 @@ from repro.distributed.matvec_common import (
     consume,
 )
 from repro.distributed.vector import DistributedVector
+from repro.errors import FaultError
 from repro.operators.compile import CompiledOperator
+from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.telemetry.context import current as current_telemetry
 
@@ -36,6 +38,8 @@ def matvec_naive(
     y: DistributedVector | None = None,
     batch_size: int = 1 << 14,
     plan=None,
+    faults=None,
+    resilience=None,
 ) -> tuple[DistributedVector, SimReport]:
     """``y = H x`` with one simulated remote task per matrix element.
 
@@ -43,6 +47,15 @@ def matvec_naive(
     implementation; the *simulated* execution is strictly per-element.
     ``plan`` (a :class:`~repro.operators.plan.MatvecPlan`) caches each
     chunk's x-independent data across calls.
+
+    With ``faults`` / ``resilience``, the analytic cost model charges the
+    recovery protocol: dropped or corrupt element messages pay a
+    detection-timeout window plus a retransmit, duplicated deliveries pay
+    an extra task spawn at the destination (the seq check discards them),
+    checksums pay CRC32 time on both ends, stragglers stretch the slow
+    locale's compute, and a crash before the simulated finish raises
+    :class:`~repro.errors.FaultError`.  The *data* path is unaffected —
+    recovery always converges here, so the result stays exact.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -53,6 +66,14 @@ def matvec_naive(
     metrics = tele.metrics
     trace = tele.trace if tele.trace.enabled else None
 
+    resilient = faults is not None or resilience is not None
+    if resilient and resilience is None:
+        resilience = ResilienceConfig()
+    crashes = faults.take_crashes() if faults is not None else {}
+    extra_nic = np.zeros(n)  # injected delays + retransmitted elements
+    extra_compute = np.zeros(n)  # checksums + duplicate-discard spawns
+    retry_wait = np.zeros(n)  # serialized detection-timeout windows
+
     n_diag = apply_diagonal(op, basis, x, y)
     for locale in range(n):
         ledger.add(
@@ -61,6 +82,7 @@ def matvec_naive(
             machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
         )
 
+    net = machine.network
     generate_time = np.zeros(n)
     incoming_elements = np.zeros(n, dtype=np.int64)
     outgoing_elements = np.zeros(n, dtype=np.int64)
@@ -94,26 +116,74 @@ def matvec_naive(
                 metrics.counter(
                     "matvec.bytes", src=locale, dst=dest
                 ).inc(betas.size * ELEMENT_BYTES)
+                if resilient and resilience.checksums:
+                    crc = machine.compute_time(
+                        machine.checksum_time(ELEMENT_BYTES), betas.size
+                    )
+                    extra_compute[locale] += crc
+                    extra_compute[dest] += crc
+                if faults is not None and dest != locale:
+                    fates = faults.message_fates(locale, dest, betas.size)
+                    retrans = fates.drops + fates.corrupts
+                    if retrans:
+                        # Lost/rejected elements wait out one (overlapped)
+                        # detection timeout, then retransmit through the NIC.
+                        retry_wait[locale] += resilience.ack_timeout
+                        penalty = retrans * net.transfer_time(ELEMENT_BYTES)
+                        extra_nic[locale] += penalty
+                        extra_nic[dest] += penalty
+                        report.messages += retrans
+                        report.bytes_sent += retrans * ELEMENT_BYTES
+                        metrics.counter(
+                            "recovery.retransmits", src=locale, dst=dest
+                        ).inc(retrans)
+                        if fates.corrupts:
+                            metrics.counter(
+                                "recovery.checksum_rejects",
+                                src=locale, dst=dest,
+                            ).inc(fates.corrupts)
+                    if fates.duplicates:
+                        extra_compute[dest] += machine.compute_time(
+                            machine.task_spawn_overhead, fates.duplicates
+                        )
+                        metrics.counter(
+                            "recovery.duplicates_discarded"
+                        ).inc(fates.duplicates)
+                    extra_nic[locale] += fates.extra_delay
+                    extra_nic[dest] += fates.extra_delay
 
     # Simulated cost: producers generate in parallel over cores; every
     # element then pays a remote task spawn plus a 16-byte message; the
     # per-message latencies serialize at the destination NIC, and the spawned
     # tasks (search + accumulate) share the destination's cores.
-    net = machine.network
     per_locale = np.zeros(n)
     trace_end = 0.0
     for locale in range(n):
+        slow = faults.slowdown(locale) if faults is not None else 1.0
         nic_in = incoming_elements[locale] * net.transfer_time(ELEMENT_BYTES)
         task_time = machine.compute_time(
             machine.task_spawn_overhead + machine.t_search_accum,
             int(incoming_elements[locale]),
         )
         nic_out = outgoing_elements[locale] * net.transfer_time(ELEMENT_BYTES)
-        consume_time = max(nic_in, task_time)
-        per_locale[locale] = generate_time[locale] + max(consume_time, nic_out)
+        compute = (generate_time[locale] + extra_compute[locale]) * slow
+        straggler_extra = (
+            (generate_time[locale] + extra_compute[locale] + task_time)
+            * (slow - 1.0)
+        )
+        consume_time = max(nic_in + extra_nic[locale], task_time * slow)
+        per_locale[locale] = (
+            compute
+            + max(consume_time, nic_out + extra_nic[locale])
+            + retry_wait[locale]
+        )
         ledger.add("generate", locale, generate_time[locale])
         ledger.add("remote-tasks", locale, task_time)
-        ledger.add("nic", locale, max(nic_in, nic_out))
+        ledger.add("nic", locale, max(nic_in, nic_out) + extra_nic[locale])
+        if resilient:
+            ledger.add("recovery", locale, extra_compute[locale] + retry_wait[locale])
+        if straggler_extra > 0.0:
+            ledger.add("straggler", locale, straggler_extra)
         if trace is not None:
             # The naive variant is effectively serialized per locale:
             # generate everything, then drain the per-element sends through
@@ -159,6 +229,17 @@ def matvec_naive(
         trace.advance(max(report.elapsed, trace_end))
     report.extras["n_diag"] = float(n_diag)
     report.extras["elements"] = float(outgoing_elements.sum())
+    if resilient:
+        report.extras["resilient"] = 1.0
+    if crashes:
+        victim = min(crashes, key=crashes.get)
+        at = crashes[victim]
+        if at < report.elapsed:
+            faults.record_crash(victim)
+            raise FaultError(
+                f"locale {victim} crashed at t={at:.3g} before the naive "
+                f"matvec finished (t={report.elapsed:.3g})"
+            )
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

@@ -27,6 +27,19 @@ single-node reference numbers are obtained.
 ``work_stealing=True`` enables the paper's proposed future-work
 optimization: a producer that runs out of chunks re-registers as an extra
 consumer on its locale instead of idling.
+
+Passing ``faults=`` (a :class:`~repro.resilience.faults.FaultPlan`) or
+``resilience=`` (a :class:`~repro.resilience.faults.ResilienceConfig`)
+switches to the *self-healing* pipeline: every handoff carries a sequence
+number and a CRC32 over the amplitude batch, producers wait for explicit
+acknowledgements with a timeout + exponential-backoff retransmit, and
+consumers discard corrupt or duplicate deliveries (re-acknowledging the
+latter).  An exhausted retry budget raises a typed
+:class:`~repro.errors.FaultError`; a crash-induced stall surfaces as a
+:class:`~repro.errors.DeadlockError` (also a ``FaultError``) from the
+simulator watchdog — the run never hangs and never returns silently wrong
+amplitudes.  The default (no faults, no resilience) path is byte-for-byte
+the original protocol with identical simulated timings.
 """
 
 from __future__ import annotations
@@ -41,10 +54,14 @@ from repro.distributed.matvec_common import (
     apply_diagonal,
     check_vectors,
     consume,
+    corrupted_copy,
+    payload_checksum,
     produce_chunk,
 )
 from repro.distributed.vector import DistributedVector
+from repro.errors import FaultError
 from repro.operators.compile import CompiledOperator
+from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.runtime.events import Pop, Simulator, Timeout, WaitFlag, Acquire
 from repro.telemetry.context import current as current_telemetry
@@ -105,6 +122,8 @@ def matvec_producer_consumer(
     producers_per_locale: int | None = None,
     consumers_per_locale: int | None = None,
     plan=None,
+    faults=None,
+    resilience=None,
 ) -> tuple[DistributedVector, SimReport]:
     """``y = H x`` with the producer-consumer pipeline.
 
@@ -112,6 +131,11 @@ def matvec_producer_consumer(
     ``consumer_fraction`` split (they are capped at sensible values for the
     Python simulation — what matters for the timing model is the *ratio*
     and the per-core rates, both of which are preserved).
+
+    ``faults`` / ``resilience`` activate the self-healing protocol (see
+    the module docstring); either one alone suffices (a bare
+    ``resilience=ResilienceConfig()`` measures the fault-free overhead of
+    sequence numbers + checksums).
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -122,8 +146,49 @@ def matvec_producer_consumer(
     metrics = tele.metrics
     trace = tele.trace if tele.trace.enabled else None
 
+    resilient = faults is not None or resilience is not None
+    if resilient and resilience is None:
+        resilience = ResilienceConfig()
+    if (
+        faults is not None
+        and faults.corrupt > 0
+        and resilience is not None
+        and not resilience.checksums
+    ):
+        raise ValueError(
+            "corruption injection with checksums disabled would return "
+            "silently wrong amplitudes; enable ResilienceConfig.checksums"
+        )
+
     if n == 1:
+        if faults is not None:
+            crashes = faults.take_crashes()
+            if crashes:
+                locale = min(crashes)
+                faults.record_crash(locale)
+                raise FaultError(
+                    f"locale {locale} crashed at t={crashes[locale]:.3g} "
+                    "during the shared-memory matvec"
+                )
         return _shared_memory_matvec(op, basis, x, y, batch_size, report, plan)
+
+    if resilient:
+        return _resilient_pipeline(
+            op, basis, x, y,
+            batch_size=batch_size,
+            consumer_fraction=consumer_fraction,
+            buffer_capacity=buffer_capacity,
+            work_stealing=work_stealing,
+            producers_per_locale=producers_per_locale,
+            consumers_per_locale=consumers_per_locale,
+            plan=plan,
+            faults=faults,
+            resilience=resilience,
+            report=report,
+            ledger=ledger,
+            metrics=metrics,
+            trace=trace,
+        )
 
     cores = machine.cores_per_locale
     if producers_per_locale is None or consumers_per_locale is None:
@@ -323,6 +388,349 @@ def matvec_producer_consumer(
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
+    if metrics.enabled:
+        report.metrics = metrics.snapshot()
+    return y, report
+
+
+class ResilientBuffer:
+    """A :class:`RemoteBuffer` plus the ARQ state of the resilient protocol.
+
+    Stop-and-wait per (producer, destination) pair: the producer bumps
+    ``seq``, stores the clean payload, and transmits; the consumer
+    verifies the checksum, consumes exactly once (``consumed_seq`` guards
+    against duplicated deliveries), and acknowledges by merging the seq
+    into ``acked_seq`` and raising ``ack_flag``.  The producer reuses the
+    buffer only once ``acked_seq`` catches up with ``seq`` — a timed wait,
+    so a lost payload or lost ack triggers a retransmit instead of the
+    silent hang of the unprotected protocol.
+    """
+
+    __slots__ = (
+        "src", "dest", "seq", "acked_seq", "consumed_seq", "ack_flag",
+        "betas", "values", "rows", "checksum", "payload",
+    )
+
+    def __init__(self, sim: Simulator, src: int, dest: int) -> None:
+        self.src = src
+        self.dest = dest
+        self.seq = 0
+        self.acked_seq = 0
+        self.consumed_seq = 0
+        self.ack_flag = sim.flag(False, name=f"ack[{src}->{dest}]")
+        #: wire fields — what the consumer sees (possibly corrupted)
+        self.betas: np.ndarray | None = None
+        self.values: np.ndarray | None = None
+        self.rows: np.ndarray | None = None
+        self.checksum = 0
+        #: clean (betas, values, rows) kept for retransmits
+        self.payload: tuple | None = None
+
+
+def _resilient_pipeline(
+    op: CompiledOperator,
+    basis: DistributedBasis,
+    x: DistributedVector,
+    y: DistributedVector,
+    *,
+    batch_size: int,
+    consumer_fraction: float,
+    buffer_capacity: int,
+    work_stealing: bool,
+    producers_per_locale: int | None,
+    consumers_per_locale: int | None,
+    plan,
+    faults,
+    resilience: ResilienceConfig,
+    report: SimReport,
+    ledger: CostLedger,
+    metrics,
+    trace,
+) -> tuple[DistributedVector, SimReport]:
+    """The self-healing producer-consumer pipeline (see module docstring)."""
+    machine = basis.cluster.machine
+    n = basis.n_locales
+    cores = machine.cores_per_locale
+    if producers_per_locale is None or consumers_per_locale is None:
+        n_prod, n_cons = split_cores(cores, consumer_fraction)
+    else:
+        n_prod, n_cons = producers_per_locale, consumers_per_locale
+    max_workers = 8
+    sim_prod = min(n_prod, max_workers)
+    sim_cons = min(n_cons, max_workers)
+    t_generate = machine.t_generate * sim_prod / n_prod
+    t_partition = (machine.t_partition + machine.t_hash) * sim_prod / n_prod
+    t_search = machine.t_search_accum * sim_cons / n_cons
+    # Representative-worker scaling applies to the checksum kernel too.
+    crc_prod_scale = sim_prod / n_prod
+    crc_cons_scale = sim_cons / n_cons
+    use_checksums = resilience.checksums
+
+    net = machine.network
+    sim = Simulator(trace=trace, faults=faults)
+    nic = [sim.resource(1, name=f"nic{locale}") for locale in range(n)]
+    ready: list = [sim.queue(name=f"ready{locale}") for locale in range(n)]
+    state = _SharedState(producers_remaining=n * sim_prod)
+    state.producers_done_flag = sim.flag(False, name="producers_done")
+    state.consumer_counts = {locale: sim_cons for locale in range(n)}
+
+    chunk_lists: dict[int, list[tuple[int, int]]] = {}
+    for locale in range(n):
+        count = int(basis.counts[locale])
+        chunk_lists[locale] = [
+            (s, min(s + batch_size, count)) for s in range(0, count, batch_size)
+        ]
+        state.next_chunk[locale] = 0
+
+    def slowdown(locale: int) -> float:
+        return faults.slowdown(locale) if faults is not None else 1.0
+
+    def consumer_body(locale: int):
+        slow = slowdown(locale)
+        busy = 0.0
+        while True:
+            rb = yield Pop(ready[locale])
+            if rb is _SENTINEL:
+                break
+            # Snapshot the wire fields up front: a retransmit may
+            # overwrite them while this consumer is inside a Timeout.
+            betas, values, rows = rb.betas, rb.values, rb.rows
+            seq, expected_crc = rb.seq, rb.checksum
+            nbytes = betas.size * ELEMENT_BYTES
+            if use_checksums:
+                dt = machine.checksum_time(nbytes) * crc_cons_scale
+                busy += dt * slow
+                yield Timeout(dt, "verify")
+                if payload_checksum(betas, values) != expected_crc:
+                    # Corrupt on the wire: drop without acknowledging;
+                    # the producer's timeout will retransmit.
+                    metrics.counter(
+                        "recovery.checksum_rejects", src=rb.src, dst=locale
+                    ).inc()
+                    continue
+            if seq <= rb.consumed_seq:
+                metrics.counter("recovery.duplicates_discarded").inc()
+            else:
+                # Claim the seq BEFORE yielding: a second consumer popping
+                # a duplicated delivery of the same payload mid-Timeout
+                # must see it as already consumed (the check-and-claim is
+                # atomic between yields in the discrete-event simulation).
+                rb.consumed_seq = seq
+                dt = t_search * betas.size
+                busy += dt * slow
+                yield Timeout(dt, "search+accum")
+                consume(basis, locale, y.parts[locale], betas, values, rows)
+            # Acknowledge (re-acknowledge duplicates: the original ack may
+            # have been the dropped message).
+            if rb.src == locale:
+                rb.acked_seq = max(rb.acked_seq, seq)
+                rb.ack_flag.set(True)
+            else:
+                fate = (
+                    faults.message_fate(locale, rb.src)
+                    if faults is not None
+                    else None
+                )
+                if fate is None or not fate.drop:
+                    delay = net.remote_atomic_latency + (
+                        fate.extra_delay if fate is not None else 0.0
+                    )
+
+                    def ack(b=rb, s=seq):
+                        b.acked_seq = max(b.acked_seq, s)
+                        b.ack_flag.set(True)
+
+                    sim.call_later(delay, ack)
+                    if fate is not None and fate.duplicate:
+                        sim.call_later(delay, ack)
+        ledger.add("search+accum", locale, busy)
+
+    def producer_body(locale: int, producer_id: int):
+        slow = slowdown(locale)
+        buffers = [ResilientBuffer(sim, locale, d) for d in range(n)]
+        acct = {"generate": 0.0, "stall": 0.0}
+
+        def transmit(rb: ResilientBuffer, retransmit: bool = False):
+            betas, values, rows = rb.payload
+            nbytes = betas.size * ELEMENT_BYTES
+            wire_values = values
+            fate = None
+            if faults is not None and rb.dest != locale:
+                fate = faults.message_fate(locale, rb.dest)
+                if fate.corrupt:
+                    wire_values = corrupted_copy(values)
+            if use_checksums:
+                rb.checksum = payload_checksum(betas, values)
+                dt = machine.checksum_time(nbytes) * crc_prod_scale
+                acct["generate"] += dt * slow
+                yield Timeout(dt, "checksum")
+            rb.betas = betas
+            rb.values = wire_values
+            rb.rows = rows
+            report.messages += 1
+            report.bytes_sent += nbytes
+            if retransmit:
+                metrics.counter(
+                    "recovery.retransmits", src=locale, dst=rb.dest
+                ).inc()
+            else:
+                metrics.counter(
+                    "matvec.messages", src=locale, dst=rb.dest
+                ).inc()
+                metrics.counter(
+                    "matvec.bytes", src=locale, dst=rb.dest
+                ).inc(nbytes)
+                metrics.histogram("matvec.buffer_elements").observe(
+                    betas.size
+                )
+            comm_args = (
+                {"src": locale, "dst": rb.dest, "bytes": nbytes, "msgs": 1}
+                if trace is not None
+                else None
+            )
+            if rb.dest == locale:
+                yield Timeout(
+                    machine.memcpy_time(nbytes, 1), "memcpy", comm_args
+                )
+                ready[rb.dest].push(rb)
+            else:
+                yield Acquire(nic[locale])
+                yield Timeout(net.transfer_time(nbytes), "send", comm_args)
+                nic[locale].release()
+                if fate is None or not fate.drop:
+                    delay = net.remote_atomic_latency + (
+                        fate.extra_delay if fate is not None else 0.0
+                    )
+                    sim.call_later(
+                        delay, lambda q=ready[rb.dest], b=rb: q.push(b)
+                    )
+                    if fate is not None and fate.duplicate:
+                        sim.call_later(
+                            delay, lambda q=ready[rb.dest], b=rb: q.push(b)
+                        )
+
+        def wait_acked(rb: ResilientBuffer):
+            if rb.seq == 0:
+                return
+            timeout = resilience.ack_timeout
+            retries = 0
+            before = sim.now
+            while rb.acked_seq < rb.seq:
+                ok = yield WaitFlag(rb.ack_flag, True, timeout=timeout)
+                rb.ack_flag.set(False)
+                if ok:
+                    # Either the awaited ack (loop exits) or a stale
+                    # duplicate ack for an older seq (loop waits again).
+                    continue
+                retries += 1
+                metrics.counter(
+                    "fault.timeouts", src=locale, dst=rb.dest
+                ).inc()
+                if retries > resilience.max_retries:
+                    raise FaultError(
+                        f"RemoteBuffer handoff {locale}->{rb.dest} seq "
+                        f"{rb.seq} unacknowledged after {retries - 1} "
+                        f"retransmits (retry budget "
+                        f"{resilience.max_retries} exhausted)"
+                    )
+                timeout *= resilience.backoff
+                yield from transmit(rb, retransmit=True)
+            if sim.now > before:
+                stalled = sim.now - before
+                acct["stall"] += stalled
+                metrics.histogram("matvec.stall_seconds").observe(stalled)
+
+        while True:
+            c = state.next_chunk[locale]
+            if c >= len(chunk_lists[locale]):
+                break
+            state.next_chunk[locale] = c + 1
+            start, stop = chunk_lists[locale][c]
+            chunk = produce_chunk(
+                op, basis, locale, start, stop, x.parts[locale], plan
+            )
+            dt = t_generate * chunk.n_emitted + t_partition * chunk.betas.size
+            acct["generate"] += dt * slow
+            metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
+            yield Timeout(dt, "generate")
+            for shift in range(n):
+                dest = (locale + 1 + shift) % n
+                betas_all, values_all = chunk.slice_for(dest)
+                rows_all = chunk.rows_for(dest)
+                for lo in range(0, betas_all.size, buffer_capacity):
+                    betas = betas_all[lo : lo + buffer_capacity]
+                    values = values_all[lo : lo + buffer_capacity]
+                    rows = (
+                        None
+                        if rows_all is None
+                        else rows_all[lo : lo + buffer_capacity]
+                    )
+                    rb = buffers[dest]
+                    yield from wait_acked(rb)
+                    rb.seq += 1
+                    rb.payload = (betas, values, rows)
+                    yield from transmit(rb)
+        # Drain: every outstanding payload must be acknowledged before
+        # this producer retires (so "all producers done" implies "all
+        # payloads consumed" and the closer can release the consumers).
+        for rb in buffers:
+            yield from wait_acked(rb)
+        ledger.add("generate", locale, acct["generate"])
+        ledger.add("stall", locale, acct["stall"])
+        state.stall_time += acct["stall"]
+        if work_stealing:
+            state.consumer_counts[locale] += 1
+        state.producers_remaining -= 1
+        if state.producers_remaining == 0:
+            state.producers_done_flag.set(True)
+        if work_stealing:
+            yield from consumer_body(locale)
+
+    def closer():
+        yield WaitFlag(state.producers_done_flag, True)
+        for locale in range(n):
+            for _ in range(state.consumer_counts[locale]):
+                ready[locale].push(_SENTINEL)
+
+    for locale in range(n):
+        for p in range(sim_prod):
+            sim.spawn(
+                producer_body(locale, p),
+                name=f"prod-{locale}-{p}",
+                track=(f"locale{locale}", f"producer{p}"),
+                locale=locale,
+            )
+        for c in range(sim_cons):
+            sim.spawn(
+                consumer_body(locale),
+                name=f"cons-{locale}-{c}",
+                track=(f"locale{locale}", f"consumer{c}"),
+                locale=locale,
+            )
+    sim.spawn(closer(), name="closer")
+    elapsed = sim.run()
+
+    n_diag = apply_diagonal(op, basis, x, y)
+    diag_elapsed = max(
+        machine.compute_time(machine.t_axpy, int(c)) for c in basis.counts
+    )
+    if trace is not None:
+        for locale in range(n):
+            trace.complete(
+                (f"locale{locale}", "diagonal"),
+                "diagonal",
+                elapsed,
+                machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
+            )
+        trace.advance(elapsed + diag_elapsed)
+    report.elapsed = elapsed + diag_elapsed
+    report.merge_phase("pipeline", elapsed)
+    report.merge_phase("diagonal", diag_elapsed)
+    report.extras["stall_time"] = state.stall_time
+    report.extras["n_diag"] = float(n_diag)
+    report.extras["producers"] = float(n_prod)
+    report.extras["consumers"] = float(n_cons)
+    report.extras["resilient"] = 1.0
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

@@ -15,11 +15,13 @@ from repro.distributed.matvec_batched import matvec_batched
 from repro.distributed.matvec_naive import matvec_naive
 from repro.distributed.matvec_pc import matvec_producer_consumer
 from repro.distributed.vector import DistributedVector
-from repro.errors import CompilationError
+from repro.errors import CompilationError, FaultError
 from repro.operators.compile import compile_expression
 from repro.operators.expression import Expression
 from repro.operators.plan import MatvecPlan
+from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import SimReport
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["DistributedOperator"]
 
@@ -41,6 +43,18 @@ class DistributedOperator:
     matvec and replayed on subsequent ones, which is what makes repeated
     Krylov iterations cheap.  Pass a ``MatvecPlan`` instance to control the
     memory budget, or ``False`` to recompute everything each call.
+
+    ``faults`` / ``resilience`` activate the self-healing layer (they
+    default to whatever is attached to the basis's cluster).  On a
+    :class:`~repro.errors.FaultError` from the producer-consumer pipeline
+    the operator falls back to the batched variant
+    (``resilience.fallback_to_batched``, counted as
+    ``recovery.fallbacks``); other variants are restarted up to
+    ``resilience.matvec_restarts`` times (``recovery.matvec_restarts``) —
+    crash specs are one-shot, so a restart models the rebooted cluster.
+    After every matvec the per-locale busy ledger is scanned for
+    stragglers (``fault.stragglers_detected``,
+    ``report.extras["stragglers"]``).
     """
 
     def __init__(
@@ -49,6 +63,8 @@ class DistributedOperator:
         basis: DistributedBasis,
         method: str = "pc",
         plan: bool | MatvecPlan = True,
+        faults=None,
+        resilience=None,
         **method_options,
     ) -> None:
         if method not in _METHODS:
@@ -56,6 +72,18 @@ class DistributedOperator:
                 f"unknown matvec method {method!r}; choose from {sorted(_METHODS)}"
             )
         self.basis = basis
+        cluster = basis.cluster
+        self.faults = faults if faults is not None else getattr(
+            cluster, "faults", None
+        )
+        resilience = resilience if resilience is not None else getattr(
+            cluster, "resilience", None
+        )
+        if resilience is True:
+            resilience = ResilienceConfig()
+        if resilience is None and self.faults is not None:
+            resilience = ResilienceConfig()
+        self.resilience = resilience
         self.compiled = compile_expression(expression, basis.n_sites)
         if (
             basis.template.hamming_weight is not None
@@ -100,19 +128,94 @@ class DistributedOperator:
         self, x: DistributedVector, y: DistributedVector | None = None
     ) -> DistributedVector:
         """``y = H x``; the timing report lands in :attr:`last_report` and
-        accumulates into :attr:`total_sim_time`."""
+        accumulates into :attr:`total_sim_time`.
+
+        Under an active resilience policy, recovers from
+        :class:`~repro.errors.FaultError` by falling back from the
+        producer-consumer pipeline to the batched variant and/or
+        restarting the matvec within the configured budgets; raises the
+        fault when the budgets are exhausted.
+        """
         impl = _METHODS[self.method]
-        y, report = impl(
-            self.compiled,
-            self.basis,
-            x,
-            y,
-            plan=self.plan,
-            **self.method_options,
-        )
+        resilient = self.faults is not None or self.resilience is not None
+        kwargs = dict(self.method_options)
+        if resilient:
+            kwargs.update(faults=self.faults, resilience=self.resilience)
+        restarts = 0
+        fell_back = False
+        while True:
+            try:
+                y, report = impl(
+                    self.compiled,
+                    self.basis,
+                    x,
+                    y,
+                    plan=self.plan,
+                    **kwargs,
+                )
+                break
+            except FaultError:
+                if not resilient:
+                    raise
+                metrics = current_telemetry().metrics
+                if (
+                    impl is matvec_producer_consumer
+                    and self.resilience.fallback_to_batched
+                ):
+                    # The pipeline could not be healed in place (retry
+                    # budget exhausted or crash-induced deadlock): rerun
+                    # the whole product with the simpler batched schedule,
+                    # which has no handoff protocol left to break.
+                    impl = matvec_batched
+                    kwargs = {
+                        "batch_size": self.method_options.get(
+                            "batch_size", 1 << 13
+                        ),
+                        "faults": self.faults,
+                        "resilience": self.resilience,
+                    }
+                    fell_back = True
+                    metrics.counter("recovery.fallbacks").inc()
+                    continue
+                restarts += 1
+                if restarts > self.resilience.matvec_restarts:
+                    raise
+                metrics.counter("recovery.matvec_restarts").inc()
+        if fell_back:
+            report.extras["fallback"] = 1.0
+        if resilient:
+            self._detect_stragglers(report)
         self.last_report = report
         self.total_sim_time += report.elapsed
         return y
+
+    def _detect_stragglers(self, report: SimReport) -> None:
+        """Flag locales whose busy time dwarfs the median (telemetry feed).
+
+        Uses the per-locale cost ledger that every variant already fills —
+        the same numbers the trace analysis reports — so detection costs
+        nothing extra on the hot path.
+        """
+        ledger = report.ledger
+        if ledger is None or ledger.n_locales < 2:
+            return
+        busy = ledger.locale_totals()
+        median = float(np.median(busy))
+        if median <= 0.0:
+            return
+        threshold = (
+            self.resilience.straggler_threshold
+            if self.resilience is not None
+            else ResilienceConfig().straggler_threshold
+        )
+        stragglers = np.flatnonzero(busy > threshold * median)
+        if stragglers.size:
+            metrics = current_telemetry().metrics
+            for locale in stragglers:
+                metrics.counter(
+                    "fault.stragglers_detected", locale=int(locale)
+                ).inc()
+            report.extras["stragglers"] = float(stragglers.size)
 
     def __matmul__(self, x):
         if isinstance(x, DistributedVector):

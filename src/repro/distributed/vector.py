@@ -175,3 +175,16 @@ class DistributedVectorSpace:
         return DistributedVector.full_random(
             like.basis, seed=seed, dtype=like.dtype
         )
+
+    # -- checkpoint hooks (per-locale chunked IO; see repro.io.vectors) -----
+
+    def save_vector(self, directory, name: str, vector: DistributedVector) -> None:
+        from repro.io.vectors import save_distributed_vector
+
+        save_distributed_vector(directory, vector, name=name)
+
+    def load_vector(self, directory, name: str, like=None) -> DistributedVector:
+        from repro.io.vectors import load_distributed_vector
+
+        basis = like.basis if like is not None else self.basis
+        return load_distributed_vector(directory, basis, name=name)

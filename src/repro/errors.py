@@ -9,6 +9,9 @@ __all__ = [
     "CompilationError",
     "DistributionError",
     "ConvergenceError",
+    "FaultError",
+    "DeadlockError",
+    "CheckpointError",
 ]
 
 
@@ -39,4 +42,78 @@ class DistributionError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """Raised when an iterative eigensolver fails to converge."""
+    """Raised when an iterative eigensolver fails to converge.
+
+    Carries enough state for a caller to checkpoint-and-retry instead of
+    discarding the run:
+
+    Attributes
+    ----------
+    n_iterations:
+        Number of iterations completed when the solver gave up (``None``
+        when the failure happened before the first iteration).
+    last_residual:
+        The worst residual norm observed in the final iteration (``None``
+        when no residual was ever computed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        n_iterations: int | None = None,
+        last_residual: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.n_iterations = n_iterations
+        self.last_residual = last_residual
+
+
+class FaultError(ReproError):
+    """Raised when an injected (or detected) fault defeats the recovery layer.
+
+    The resilient distributed matvec raises this when a retry budget is
+    exhausted (unacknowledged ``RemoteBuffer`` handoffs), when a locale
+    crash makes a run unrecoverable, or when the fallback chain
+    (producer-consumer -> batched -> restart) runs out of options.  A run
+    that raises :class:`FaultError` has failed *loudly*: no silently wrong
+    vectors are ever returned.
+    """
+
+
+class DeadlockError(FaultError, RuntimeError):
+    """Raised by the simulator watchdog when no event can make progress.
+
+    Inherits :class:`RuntimeError` for backwards compatibility with callers
+    that caught the old untyped deadlock error, and :class:`FaultError`
+    because under fault injection a deadlock *is* an unrecovered fault
+    (e.g. every consumer of a queue crashed).
+
+    Attributes
+    ----------
+    blocked:
+        ``[(process_name, waiting_on), ...]`` for every still-blocked
+        process (``waiting_on`` describes the flag/queue/resource).
+    crashed_locales:
+        Sorted list of locales killed by injected crash faults.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        blocked: list[tuple[str, str]] | None = None,
+        crashed_locales: list[int] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.blocked = blocked if blocked is not None else []
+        self.crashed_locales = (
+            crashed_locales if crashed_locales is not None else []
+        )
+
+
+class CheckpointError(ReproError):
+    """Raised for invalid or corrupt solver checkpoints.
+
+    Covers CRC32 mismatches against the checkpoint manifest, missing or
+    truncated chunk files, dtype/length disagreements, and ``resume=``
+    requests pointed at a directory with no loadable checkpoint.
+    """

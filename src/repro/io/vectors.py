@@ -1,8 +1,26 @@
-"""Saving and loading vectors as per-locale ``.npy`` chunks + a manifest."""
+"""Saving and loading vectors as per-locale ``.npy`` chunks + a manifest.
+
+Writes are crash-safe and reads are self-validating:
+
+- every chunk and every manifest is written to a temporary file in the
+  same directory and moved into place with :func:`os.replace`, so a
+  writer killed mid-save never leaves a half-written file under the final
+  name (the manifest is written *last*, making it the commit record);
+- the manifest stores a CRC32, byte count, dtype, and length for every
+  chunk, and loading verifies all four — a truncated, corrupted, or
+  swapped ``.npy`` chunk raises :class:`~repro.errors.CheckpointError`
+  instead of silently feeding garbage into a solver.
+
+Manifests written before checksumming existed (no ``"chunks"`` entry)
+still load, just without integrity verification.
+"""
 
 from __future__ import annotations
 
+import io
 import json
+import os
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -12,7 +30,7 @@ from repro.distributed.convert import block_to_hashed, hashed_to_block
 from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.hashing import locale_of
 from repro.distributed.vector import DistributedVector
-from repro.errors import DistributionError
+from repro.errors import CheckpointError, DistributionError
 from repro.runtime.cluster import Cluster
 
 __all__ = [
@@ -27,38 +45,122 @@ __all__ = [
 _MANIFEST = "manifest.json"
 
 
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp-file + :func:`os.replace`."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _save_chunk(path: Path, array: np.ndarray) -> dict:
+    """Atomically save one chunk; return its manifest entry."""
+    buffer = io.BytesIO()
+    np.save(buffer, array)
+    data = buffer.getvalue()
+    _atomic_write_bytes(path, data)
+    return {
+        "file": path.name,
+        "crc32": zlib.crc32(data) & 0xFFFFFFFF,
+        "nbytes": len(data),
+        "dtype": str(array.dtype),
+        "length": int(array.shape[0]),
+    }
+
+
+def _load_chunk(path: Path, entry: dict | None) -> np.ndarray:
+    """Load one chunk, verifying it against its manifest entry if present."""
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"missing chunk file {path}") from exc
+    if entry is not None:
+        if len(data) != entry["nbytes"]:
+            raise CheckpointError(
+                f"chunk {path} is {len(data)} bytes, manifest says "
+                f"{entry['nbytes']} (truncated or overwritten?)"
+            )
+        crc = zlib.crc32(data) & 0xFFFFFFFF
+        if crc != entry["crc32"]:
+            raise CheckpointError(
+                f"chunk {path} failed its CRC32 check "
+                f"(got {crc:#010x}, manifest says {entry['crc32']:#010x})"
+            )
+    array = np.load(io.BytesIO(data))
+    if entry is not None:
+        if str(array.dtype) != entry["dtype"]:
+            raise CheckpointError(
+                f"chunk {path} has dtype {array.dtype}, manifest says "
+                f"{entry['dtype']}"
+            )
+        if array.shape[0] != entry["length"]:
+            raise CheckpointError(
+                f"chunk {path} has length {array.shape[0]}, manifest says "
+                f"{entry['length']}"
+            )
+    return array
+
+
+def _read_manifest(directory: Path, name: str) -> dict:
+    path = directory / f"{name}.{_MANIFEST}"
+    try:
+        text = path.read_text()
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"missing manifest {path}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"manifest {path} is not valid JSON") from exc
+
+
+def _load_chunks(directory: Path, manifest: dict) -> list[np.ndarray]:
+    name = manifest["name"]
+    entries = manifest.get("chunks")
+    chunks = []
+    for locale in range(manifest["n_locales"]):
+        entry = entries[locale] if entries is not None else None
+        chunks.append(_load_chunk(directory / f"{name}.{locale}.npy", entry))
+    return chunks
+
+
 def save_block_array(directory, array: BlockArray, name: str = "vector") -> Path:
     """Write one ``.npy`` per locale plus a manifest; returns the manifest
     path.  In a real deployment each locale writes its own chunk in
-    parallel — which is exactly why the block distribution is used."""
+    parallel — which is exactly why the block distribution is used.
+
+    Every chunk goes through temp-file + ``os.replace``, and the manifest
+    (with per-chunk CRC32s) lands last, so readers never observe a
+    half-written save under the final names.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    for locale, block in enumerate(array.blocks):
-        np.save(directory / f"{name}.{locale}.npy", block)
+    entries = [
+        _save_chunk(directory / f"{name}.{locale}.npy", block)
+        for locale, block in enumerate(array.blocks)
+    ]
     manifest = {
         "name": name,
         "n_locales": array.cluster.n_locales,
         "global_length": array.global_length,
         "dtype": str(array.dtype),
+        "chunks": entries,
     }
     path = directory / f"{name}.{_MANIFEST}"
-    path.write_text(json.dumps(manifest, indent=2))
+    _atomic_write_bytes(path, json.dumps(manifest, indent=2).encode())
     return path
 
 
 def load_block_array(directory, cluster: Cluster, name: str = "vector") -> BlockArray:
     directory = Path(directory)
-    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
+    manifest = _read_manifest(directory, name)
     if manifest["n_locales"] != cluster.n_locales:
         raise DistributionError(
             f"file was written from {manifest['n_locales']} locales, "
             f"cluster has {cluster.n_locales}"
         )
-    blocks = [
-        np.load(directory / f"{name}.{locale}.npy")
-        for locale in range(cluster.n_locales)
-    ]
-    return BlockArray(cluster, blocks)
+    return BlockArray(cluster, _load_chunks(directory, manifest))
 
 
 def _basis_masks(basis: DistributedBasis) -> tuple[np.ndarray, BlockArray]:
@@ -115,12 +217,8 @@ def load_basis_states(
     cluster may differ from the writer's.
     """
     directory = Path(directory)
-    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
-    flat = [
-        np.load(directory / f"{name}.{locale}.npy")
-        for locale in range(manifest["n_locales"])
-    ]
-    states = np.concatenate(flat)
+    manifest = _read_manifest(directory, name)
+    states = np.concatenate(_load_chunks(directory, manifest))
     block = BlockArray.from_global(cluster, states)
     masks = BlockArray.from_global(
         cluster, locale_of(states, cluster.n_locales)
@@ -139,17 +237,15 @@ def load_distributed_vector(
     converted to the hashed distribution of ``basis``.
     """
     directory = Path(directory)
-    manifest = json.loads((directory / f"{name}.{_MANIFEST}").read_text())
+    manifest = _read_manifest(directory, name)
     if manifest["global_length"] != basis.dim:
         raise DistributionError(
             f"vector on disk has length {manifest['global_length']}, "
             f"basis has dimension {basis.dim}"
         )
-    writer_locales = manifest["n_locales"]
-    flat = []
-    for locale in range(writer_locales):
-        flat.append(np.load(directory / f"{name}.{locale}.npy"))
-    block = BlockArray.from_global(basis.cluster, np.concatenate(flat))
+    block = BlockArray.from_global(
+        basis.cluster, np.concatenate(_load_chunks(directory, manifest))
+    )
     _, masks = _basis_masks(basis)
     parts, _ = block_to_hashed(block, masks)
     return DistributedVector(basis, parts)

@@ -16,12 +16,18 @@ Rayleigh-Ritz block lives on one node even in distributed runs).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import ConvergenceError
+from repro.errors import CheckpointError, ConvergenceError
 from repro.linalg.spaces import as_matvec
+from repro.resilience.checkpoint import (
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
 
 __all__ = ["DavidsonResult", "davidson"]
 
@@ -64,6 +70,10 @@ def davidson(
     max_subspace: int | None = None,
     seed: int = 0,
     raise_on_no_convergence: bool = True,
+    checkpoint_dir=None,
+    checkpoint_every: int = 10,
+    checkpoint_keep: int = 2,
+    resume: bool = False,
 ) -> DavidsonResult:
     """Lowest ``k`` eigenpairs of a Hermitian operator.
 
@@ -79,6 +89,14 @@ def davidson(
         random block is drawn otherwise.
     max_subspace:
         Restart threshold for the search-space width (default ``8 k + 8``).
+    checkpoint_dir:
+        When set, the full solver state (search block ``V``, image block
+        ``W = H V``, and the RNG state that drives stagnation restarts)
+        is snapshotted atomically every ``checkpoint_every`` iterations.
+    resume:
+        Restart from the newest loadable checkpoint under
+        ``checkpoint_dir`` (bit-for-bit identical continuation; the RNG
+        state is restored too).  An empty directory means a cold start.
     """
     matvec = as_matvec(matvec)
     diagonal = np.asarray(diagonal)
@@ -89,24 +107,41 @@ def davidson(
         max_subspace = min(8 * k + 8, dim)
     rng = np.random.default_rng(seed)
 
+    state = None
+    if resume:
+        if checkpoint_dir is None:
+            raise CheckpointError("resume=True requires checkpoint_dir")
+        if list_checkpoints(checkpoint_dir):
+            state = load_latest_checkpoint(checkpoint_dir)
+
     dtype = np.promote_types(diagonal.dtype, np.float64)
-    if v0 is None:
-        v0 = rng.standard_normal((dim, min(k + 2, dim))).astype(dtype)
-        if np.issubdtype(dtype, np.complexfloating):
-            v0 = v0 + 1j * rng.standard_normal(v0.shape)
+    start_iter = 0
+    if state is not None:
+        v = state.arrays["v"]
+        w = state.arrays["w"]
+        rng.bit_generator.state = json.loads(state.meta["rng_state"])
+        start_iter = state.iteration
     else:
-        v0 = np.asarray(v0, dtype=dtype)
-        if v0.ndim == 1:
-            v0 = v0[:, None]
-        if v0.shape[1] < k:
-            raise ValueError("starting block must have at least k columns")
-    v = _orthonormalize(v0, None)
-    w = np.stack([matvec(v[:, j]) for j in range(v.shape[1])], axis=1)
+        if v0 is None:
+            v0 = rng.standard_normal((dim, min(k + 2, dim))).astype(dtype)
+            if np.issubdtype(dtype, np.complexfloating):
+                v0 = v0 + 1j * rng.standard_normal(v0.shape)
+        else:
+            v0 = np.asarray(v0, dtype=dtype)
+            if v0.ndim == 1:
+                v0 = v0[:, None]
+            if v0.shape[1] < k:
+                raise ValueError(
+                    "starting block must have at least k columns"
+                )
+        v = _orthonormalize(v0, None)
+        w = np.stack([matvec(v[:, j]) for j in range(v.shape[1])], axis=1)
 
     theta = np.zeros(k)
     ritz = v[:, :k]
     residual_norms = np.full(k, np.inf)
-    for iteration in range(1, max_iter + 1):
+    iteration = start_iter
+    for iteration in range(start_iter + 1, max_iter + 1):
         g = v.conj().T @ w
         g = 0.5 * (g + g.conj().T)
         evals, evecs = np.linalg.eigh(g)
@@ -147,11 +182,28 @@ def davidson(
         )
         v = np.concatenate([v, new], axis=1)
         w = np.concatenate([w, new_w], axis=1)
+        if checkpoint_dir is not None and iteration % checkpoint_every == 0:
+            # V and W = H V plus the RNG state is the complete solver
+            # state: the next iteration recomputes the Rayleigh-Ritz
+            # projection from them, so a resumed run continues exactly.
+            write_checkpoint(
+                checkpoint_dir,
+                iteration,
+                arrays={"v": v, "w": w},
+                meta={
+                    "solver": "davidson",
+                    "k": k,
+                    "rng_state": json.dumps(rng.bit_generator.state),
+                },
+                keep=checkpoint_keep,
+            )
 
     if raise_on_no_convergence:
         raise ConvergenceError(
             f"Davidson did not converge in {max_iter} iterations "
-            f"(residuals {residual_norms})"
+            f"(residuals {residual_norms})",
+            n_iterations=iteration,
+            last_residual=float(residual_norms.max()),
         )
     return DavidsonResult(
         eigenvalues=theta,

@@ -22,8 +22,13 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy.linalg import eigh_tridiagonal
 
-from repro.errors import ConvergenceError
+from repro.errors import CheckpointError, ConvergenceError
 from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
+from repro.resilience.checkpoint import (
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
 from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["LanczosResult", "lanczos", "lanczos_distributed"]
@@ -69,6 +74,10 @@ def lanczos(
     compute_eigenvectors: bool = False,
     reorthogonalize: bool = True,
     raise_on_no_convergence: bool = True,
+    checkpoint_dir=None,
+    checkpoint_every: int = 10,
+    checkpoint_keep: int = 2,
+    resume: bool = False,
 ) -> LanczosResult:
     """Lowest ``k`` eigenpairs of a Hermitian operator.
 
@@ -91,6 +100,17 @@ def lanczos(
         Re-orthogonalize each new Krylov vector against all previous ones
         (classical Gram-Schmidt, twice).  Without it, "ghost" copies of
         converged eigenvalues appear — demonstrated in the tests.
+    checkpoint_dir:
+        When set, a CRC32-manifested snapshot of the full Krylov state
+        (basis vectors via ``space.save_vector``, tridiagonal
+        coefficients) is written atomically every ``checkpoint_every``
+        completed iterations (see :mod:`repro.resilience.checkpoint`).
+    resume:
+        Restart from the newest loadable checkpoint under
+        ``checkpoint_dir`` instead of from ``v0``.  Because the snapshot
+        captures the exact ``float64`` state, the resumed run continues
+        bit-for-bit identically to the uninterrupted one.  An empty
+        checkpoint directory falls back to a cold start.
     """
     matvec = as_matvec(matvec)
     if space is None:
@@ -108,9 +128,22 @@ def lanczos(
     eigenvalues = None
     residuals = np.array([np.inf] * k)
     converged = False
-    n_iter = 0
+    start_iter = 0
 
-    for n_iter in range(1, max_iter + 1):
+    if resume:
+        if checkpoint_dir is None:
+            raise CheckpointError("resume=True requires checkpoint_dir")
+        if list_checkpoints(checkpoint_dir):
+            state = load_latest_checkpoint(
+                checkpoint_dir, space=space, like=v0
+            )
+            alphas = [float(a) for a in state.arrays["alphas"]]
+            betas = [float(b) for b in state.arrays["betas"]]
+            basis = list(state.vectors)
+            start_iter = state.iteration
+
+    n_iter = start_iter
+    for n_iter in range(start_iter + 1, max_iter + 1):
         w = matvec(basis[-1])
         alpha = space.dot(basis[-1], w)
         alphas.append(float(np.real(alpha)))
@@ -143,15 +176,34 @@ def lanczos(
         betas.append(float(beta))
         space.scale(1.0 / beta, w)
         basis.append(w)
+        if checkpoint_dir is not None and n_iter % checkpoint_every == 0:
+            # Snapshot point invariant: after n_iter completed iterations
+            # there are n_iter alphas, n_iter betas, and n_iter+1 basis
+            # vectors — exactly the state the resumed loop continues from.
+            write_checkpoint(
+                checkpoint_dir,
+                n_iter,
+                arrays={
+                    "alphas": np.asarray(alphas),
+                    "betas": np.asarray(betas),
+                },
+                meta={"solver": "lanczos", "k": k, "tol": tol},
+                vectors=basis,
+                space=space,
+                keep=checkpoint_keep,
+            )
 
     if eigenvalues is None:
         raise ConvergenceError(
-            f"Krylov space of dimension {len(alphas)} is smaller than k={k}"
+            f"Krylov space of dimension {len(alphas)} is smaller than k={k}",
+            n_iterations=n_iter,
         )
     if not converged and raise_on_no_convergence:
         raise ConvergenceError(
             f"Lanczos did not converge in {max_iter} iterations "
-            f"(residuals {residuals})"
+            f"(residuals {residuals})",
+            n_iterations=n_iter,
+            last_residual=float(residuals.max()),
         )
 
     eigenvectors = None

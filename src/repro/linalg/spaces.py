@@ -10,6 +10,8 @@ carries a simulated allreduce.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -59,6 +61,12 @@ class VectorSpace(Protocol):
 
     def random(self, like, seed: int): ...
 
+    def save_vector(self, directory, name: str, vector) -> None:
+        """Persist ``vector`` under ``directory`` as ``name`` (checkpoints)."""
+
+    def load_vector(self, directory, name: str, like=None):
+        """Load a vector previously written by :meth:`save_vector`."""
+
 
 class NumpyVectorSpace:
     """The trivial vector space over 1-D NumPy arrays."""
@@ -88,3 +96,14 @@ class NumpyVectorSpace:
         if like.dtype.kind == "c":
             out = out + 1j * rng.standard_normal(like.shape[0])
         return out.astype(like.dtype)
+
+    def save_vector(self, directory, name: str, vector: np.ndarray) -> None:
+        """Atomic single-file save (temp file + ``os.replace``)."""
+        path = Path(directory) / f"{name}.npy"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            np.save(handle, vector)
+        os.replace(tmp, path)
+
+    def load_vector(self, directory, name: str, like=None) -> np.ndarray:
+        return np.load(Path(directory) / f"{name}.npy")

@@ -1,0 +1,43 @@
+"""Fault injection, detection/recovery policy, and solver checkpoints.
+
+Three pieces (see ``docs/RESILIENCE.md``):
+
+- :class:`FaultPlan` — a *seeded, deterministic* schedule of injected
+  faults (message drops, duplicated deliveries, bounded send delays,
+  per-locale straggler slowdowns, locale crash-at-time-T) consulted by the
+  discrete-event :class:`~repro.runtime.events.Simulator` and the analytic
+  matvec cost models.  The same plan + seed always produces the same event
+  schedule, the same ``fault.*`` metric counts, and the same final vectors.
+- :class:`ResilienceConfig` — the recovery policy: ack timeouts and
+  exponential backoff for unacknowledged ``RemoteBuffer`` handoffs,
+  retry/restart budgets, checksum toggles, straggler thresholds, and the
+  automatic producer-consumer -> batched fallback.
+- :mod:`repro.resilience.checkpoint` — CRC32-manifested, atomically
+  renamed snapshots of Krylov solver state, used by
+  :func:`repro.linalg.lanczos` / :func:`repro.linalg.davidson` for
+  bit-for-bit identical restarts.
+"""
+
+from repro.resilience.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.resilience.faults import (
+    FaultPlan,
+    MessageFate,
+    ResilienceConfig,
+)
+
+__all__ = [
+    "FaultPlan",
+    "MessageFate",
+    "ResilienceConfig",
+    "write_checkpoint",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "latest_checkpoint",
+    "list_checkpoints",
+]

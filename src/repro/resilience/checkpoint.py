@@ -1,0 +1,236 @@
+"""CRC32-manifested, atomically renamed solver checkpoints.
+
+Checkpoint layout (one directory per snapshot)::
+
+    <dir>/ckpt-000042/
+        state.npz        # small dense state (tridiagonal coeffs, ...)
+        v0000.npy        # Krylov vectors — NumpyVectorSpace layout, or
+        v0000.0.npy      # per-locale chunks + manifest for the
+        v0000.manifest.json   # DistributedVectorSpace (repro.io.vectors)
+        manifest.json    # written LAST: CRC32 + byte count of every file
+
+Write protocol: everything is written into ``ckpt-NNNNNN.tmp``, the
+top-level ``manifest.json`` (the commit record) is written last via
+temp-file + :func:`os.replace`, and the whole directory is then renamed to
+its final name with :func:`os.replace`.  A writer killed at *any* point
+leaves either the previous checkpoint intact or a ``.tmp`` directory that
+readers ignore — never a half-written ``ckpt-NNNNNN``.
+
+Read protocol: :func:`load_checkpoint` re-hashes every file against the
+manifest and raises :class:`~repro.errors.CheckpointError` on any
+mismatch; :func:`load_latest_checkpoint` walks checkpoints newest-first,
+skipping corrupt ones (counted as ``checkpoint.skipped_corrupt``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CheckpointState",
+    "write_checkpoint",
+    "load_checkpoint",
+    "load_latest_checkpoint",
+    "latest_checkpoint",
+    "list_checkpoints",
+]
+
+_PREFIX = "ckpt-"
+_MANIFEST = "manifest.json"
+_FORMAT = 1
+
+
+@dataclass
+class CheckpointState:
+    """Everything restored from one checkpoint."""
+
+    iteration: int
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    vectors: list[Any] = field(default_factory=list)
+    path: Path | None = None
+
+
+def _crc_entry(path: Path) -> dict:
+    data = path.read_bytes()
+    return {"crc32": zlib.crc32(data) & 0xFFFFFFFF, "nbytes": len(data)}
+
+
+def _checkpoint_files(root: Path) -> list[Path]:
+    return sorted(
+        p for p in root.rglob("*") if p.is_file() and p.name != _MANIFEST
+    )
+
+
+def write_checkpoint(
+    directory,
+    iteration: int,
+    *,
+    arrays: dict[str, np.ndarray] | None = None,
+    meta: dict[str, Any] | None = None,
+    vectors: Sequence[Any] = (),
+    space=None,
+    keep: int = 2,
+) -> Path:
+    """Atomically write checkpoint ``iteration`` under ``directory``.
+
+    ``vectors`` are saved through ``space.save_vector`` (NumPy arrays in
+    memory, or per-locale chunked IO for distributed vectors); ``arrays``
+    go into a single ``state.npz``; ``meta`` must be JSON-serialisable
+    (this is where RNG state travels).  At most ``keep`` finished
+    checkpoints are retained (older ones are pruned after the rename).
+    """
+    if vectors and space is None:
+        raise ValueError("saving vectors requires a vector space")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    final = directory / f"{_PREFIX}{iteration:06d}"
+    tmp = directory / (final.name + ".tmp")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    if arrays:
+        with open(tmp / "state.npz", "wb") as handle:
+            np.savez(handle, **arrays)
+    for index, vector in enumerate(vectors):
+        space.save_vector(tmp, f"v{index:04d}", vector)
+    files = {
+        str(path.relative_to(tmp)): _crc_entry(path)
+        for path in _checkpoint_files(tmp)
+    }
+    manifest = {
+        "format": _FORMAT,
+        "iteration": int(iteration),
+        "meta": meta if meta is not None else {},
+        "n_vectors": len(vectors),
+        "files": files,
+    }
+    manifest_tmp = tmp / (_MANIFEST + ".tmp")
+    manifest_tmp.write_text(json.dumps(manifest, indent=2))
+    os.replace(manifest_tmp, tmp / _MANIFEST)
+    if final.exists():
+        shutil.rmtree(final)
+    os.replace(tmp, final)
+    metrics = telemetry.current().metrics
+    metrics.counter("checkpoint.saves").inc()
+    metrics.counter("checkpoint.bytes").inc(
+        sum(entry["nbytes"] for entry in files.values())
+    )
+    if keep > 0:
+        for stale in list_checkpoints(directory)[:-keep]:
+            shutil.rmtree(stale, ignore_errors=True)
+    return final
+
+
+def list_checkpoints(directory) -> list[Path]:
+    """Finished checkpoint directories, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p
+        for p in directory.iterdir()
+        if p.is_dir()
+        and p.name.startswith(_PREFIX)
+        and not p.name.endswith(".tmp")
+        and (p / _MANIFEST).is_file()
+    )
+
+
+def latest_checkpoint(directory) -> Path | None:
+    """The newest finished checkpoint, or ``None``."""
+    found = list_checkpoints(directory)
+    return found[-1] if found else None
+
+
+def load_checkpoint(path, *, space=None, like=None) -> CheckpointState:
+    """Load and verify one checkpoint directory.
+
+    Every file is re-hashed against the manifest before anything is
+    deserialised; any mismatch (missing file, truncation, bit flip,
+    unexpected extra state) raises :class:`CheckpointError`.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"no manifest in checkpoint {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"checkpoint manifest {manifest_path} is not valid JSON"
+        ) from exc
+    if manifest.get("format") != _FORMAT:
+        raise CheckpointError(
+            f"checkpoint {path} has format {manifest.get('format')!r}, "
+            f"this build reads format {_FORMAT}"
+        )
+    files = manifest["files"]
+    on_disk = {str(p.relative_to(path)) for p in _checkpoint_files(path)}
+    missing = sorted(set(files) - on_disk)
+    if missing:
+        raise CheckpointError(f"checkpoint {path} is missing {missing}")
+    for rel, expected in sorted(files.items()):
+        entry = _crc_entry(path / rel)
+        if entry != expected:
+            raise CheckpointError(
+                f"checkpoint file {path / rel} failed integrity check: "
+                f"manifest says {expected}, file has {entry}"
+            )
+    arrays: dict[str, np.ndarray] = {}
+    state_path = path / "state.npz"
+    if state_path.exists():
+        with np.load(state_path) as bundle:
+            arrays = {key: bundle[key] for key in bundle.files}
+    n_vectors = manifest.get("n_vectors", 0)
+    if n_vectors and space is None:
+        raise CheckpointError(
+            f"checkpoint {path} holds {n_vectors} vectors; pass the "
+            "solver's vector space to load them"
+        )
+    vectors = [
+        space.load_vector(path, f"v{index:04d}", like=like)
+        for index in range(n_vectors)
+    ]
+    telemetry.current().metrics.counter("checkpoint.loads").inc()
+    return CheckpointState(
+        iteration=int(manifest["iteration"]),
+        arrays=arrays,
+        meta=dict(manifest.get("meta", {})),
+        vectors=vectors,
+        path=path,
+    )
+
+
+def load_latest_checkpoint(directory, *, space=None, like=None) -> CheckpointState:
+    """Load the newest checkpoint that passes integrity verification.
+
+    Corrupt or half-valid checkpoints are skipped (newest first, counted
+    as ``checkpoint.skipped_corrupt``); if nothing under ``directory``
+    loads, raises :class:`CheckpointError`.
+    """
+    directory = Path(directory)
+    failures: list[str] = []
+    for path in reversed(list_checkpoints(directory)):
+        try:
+            return load_checkpoint(path, space=space, like=like)
+        except CheckpointError as exc:
+            telemetry.current().metrics.counter(
+                "checkpoint.skipped_corrupt"
+            ).inc()
+            failures.append(f"{path.name}: {exc}")
+    detail = f" ({'; '.join(failures)})" if failures else ""
+    raise CheckpointError(
+        f"no loadable checkpoint under {directory}{detail}"
+    )

@@ -1,0 +1,282 @@
+"""Seeded deterministic fault injection and the recovery policy knobs.
+
+A :class:`FaultPlan` is the single source of randomness for everything the
+fault layer does.  It owns one ``numpy`` generator seeded at construction;
+every consultation (:meth:`FaultPlan.message_fate` per remote message in
+the discrete-event pipeline, :meth:`FaultPlan.message_fates` vectorized for
+the analytic naive/batched cost models) draws from that generator in a
+fixed order.  Because the discrete-event simulator itself is deterministic
+(heap ties broken by sequence number), the combination *plan seed ->
+identical fault schedule -> identical simulation* holds exactly, which is
+what makes chaos runs replayable and the determinism tests in
+``tests/test_resilience.py`` possible.
+
+Crash faults are *one-shot*: :meth:`FaultPlan.take_crashes` hands the
+pending crash schedule to the first consumer and marks it consumed, so a
+retried or fallback matvec models the post-reboot cluster rather than
+crashing forever.  Use :meth:`FaultPlan.fresh` to rewind a plan for an
+independent replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = ["FaultPlan", "MessageFate", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """The injected fate of a single remote message."""
+
+    drop: bool = False
+    duplicate: bool = False
+    corrupt: bool = False
+    extra_delay: float = 0.0
+
+
+#: Fate of ``n`` messages at once (analytic variants): counts + total delay.
+@dataclass(frozen=True)
+class FateCounts:
+    drops: int = 0
+    duplicates: int = 0
+    corrupts: int = 0
+    extra_delay: float = 0.0
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the plan's private RNG.  Same seed -> same fault schedule.
+    drop, duplicate, delay, corrupt:
+        Per-remote-message probabilities of, respectively, dropping the
+        delivery, delivering it twice, delaying it, and corrupting the
+        payload bytes on the wire (caught by checksums).
+    max_delay:
+        Upper bound (simulated seconds) of the uniform extra delay applied
+        to delayed messages.
+    stragglers:
+        ``{locale: slowdown_factor}`` — every busy period on that locale
+        takes ``factor`` times longer.
+    crashes:
+        ``{locale: time}`` — the locale dies at the given simulated time
+        (its processes are killed; its memory contents are lost).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        max_delay: float = 0.0,
+        corrupt: float = 0.0,
+        stragglers: Mapping[int, float] | None = None,
+        crashes: Mapping[int, float] | None = None,
+    ) -> None:
+        for name, p in (
+            ("drop", drop), ("duplicate", duplicate),
+            ("delay", delay), ("corrupt", corrupt),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability {p} outside [0, 1]")
+        self.seed = int(seed)
+        self.drop = float(drop)
+        self.duplicate = float(duplicate)
+        self.delay = float(delay)
+        self.max_delay = float(max_delay)
+        self.corrupt = float(corrupt)
+        self.stragglers = dict(stragglers) if stragglers else {}
+        self.crashes = dict(crashes) if crashes else {}
+        self._rng = np.random.default_rng(self.seed)
+        self._crashes_taken = False
+
+    # -- deterministic draws ------------------------------------------------
+
+    @property
+    def injects_message_faults(self) -> bool:
+        return (
+            self.drop > 0 or self.duplicate > 0
+            or self.delay > 0 or self.corrupt > 0
+        )
+
+    def message_fate(self, src: int, dst: int) -> MessageFate:
+        """Draw the fate of one remote message (``src -> dst``).
+
+        Consumes a fixed number of uniforms per call regardless of which
+        probabilities are zero, so the schedule is insensitive to metric
+        plumbing and easy to reason about.
+        """
+        if not self.injects_message_faults:
+            return _CLEAN_FATE
+        u = self._rng.random(4)
+        drop = bool(u[0] < self.drop)
+        duplicate = bool(u[1] < self.duplicate)
+        corrupt = bool(u[2] < self.corrupt)
+        extra = float(u[3] * self.max_delay) if u[3] < self.delay else 0.0
+        metrics = telemetry.current().metrics
+        if drop:
+            metrics.counter("fault.drops", src=src, dst=dst).inc()
+        if duplicate:
+            metrics.counter("fault.duplicates").inc()
+        if corrupt:
+            metrics.counter("fault.corruptions").inc()
+        if extra > 0.0:
+            metrics.counter("fault.delays").inc()
+        return MessageFate(drop, duplicate, corrupt, extra)
+
+    def message_fates(self, src: int, dst: int, n: int) -> FateCounts:
+        """Vectorized fate draw for ``n`` messages (analytic cost models)."""
+        if n <= 0 or not self.injects_message_faults:
+            return _CLEAN_COUNTS
+        rng = self._rng
+        drops = int(rng.binomial(n, self.drop)) if self.drop else 0
+        dups = int(rng.binomial(n, self.duplicate)) if self.duplicate else 0
+        corrupts = int(rng.binomial(n, self.corrupt)) if self.corrupt else 0
+        delayed = int(rng.binomial(n, self.delay)) if self.delay else 0
+        extra = (
+            float(rng.random(delayed).sum() * self.max_delay)
+            if delayed else 0.0
+        )
+        metrics = telemetry.current().metrics
+        if drops:
+            metrics.counter("fault.drops", src=src, dst=dst).inc(drops)
+        if dups:
+            metrics.counter("fault.duplicates").inc(dups)
+        if corrupts:
+            metrics.counter("fault.corruptions").inc(corrupts)
+        if delayed:
+            metrics.counter("fault.delays").inc(delayed)
+        return FateCounts(drops, dups, corrupts, extra)
+
+    # -- locale-level faults ------------------------------------------------
+
+    def slowdown(self, locale: int | None) -> float:
+        """Straggler factor for a locale (1.0 = healthy)."""
+        if locale is None:
+            return 1.0
+        return float(self.stragglers.get(locale, 1.0))
+
+    def take_crashes(self) -> dict[int, float]:
+        """Consume the crash schedule (one-shot: a crashed node reboots).
+
+        The first caller gets ``{locale: crash_time}``; later callers get
+        an empty dict, so a fallback/retried matvec runs on the rebooted
+        cluster instead of re-crashing deterministically forever.
+        """
+        if self._crashes_taken:
+            return {}
+        self._crashes_taken = True
+        return dict(self.crashes)
+
+    def record_crash(self, locale: int) -> None:
+        """Count a crash actually delivered by the simulator."""
+        telemetry.current().metrics.counter(
+            "fault.crashes", locale=locale
+        ).inc()
+
+    # -- lifecycle / serialisation ------------------------------------------
+
+    def fresh(self) -> "FaultPlan":
+        """A rewound copy: same parameters and seed, untouched RNG."""
+        return FaultPlan(
+            self.seed,
+            drop=self.drop,
+            duplicate=self.duplicate,
+            delay=self.delay,
+            max_delay=self.max_delay,
+            corrupt=self.corrupt,
+            stragglers=self.stragglers,
+            crashes=self.crashes,
+        )
+
+    def to_config(self) -> dict[str, Any]:
+        cfg: dict[str, Any] = {"seed": self.seed}
+        for key in ("drop", "duplicate", "delay", "max_delay", "corrupt"):
+            value = getattr(self, key)
+            if value:
+                cfg[key] = value
+        if self.stragglers:
+            cfg["stragglers"] = {str(k): v for k, v in self.stragglers.items()}
+        if self.crashes:
+            cfg["crashes"] = {str(k): v for k, v in self.crashes.items()}
+        return cfg
+
+    @classmethod
+    def from_config(cls, cfg: Mapping[str, Any]) -> "FaultPlan":
+        """Build a plan from a JSON-style mapping (config files / CLI)."""
+        known = {
+            "seed", "drop", "duplicate", "delay", "max_delay", "corrupt",
+            "stragglers", "crashes",
+        }
+        unknown = set(cfg) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        kwargs = dict(cfg)
+        seed = kwargs.pop("seed", 0)
+        for key in ("stragglers", "crashes"):
+            if key in kwargs:
+                kwargs[key] = {
+                    int(locale): float(value)
+                    for locale, value in kwargs[key].items()
+                }
+        return cls(seed, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.to_config()!r})"
+
+
+_CLEAN_FATE = MessageFate()
+_CLEAN_COUNTS = FateCounts()
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Recovery policy for the self-healing distributed matvec.
+
+    ``ack_timeout`` must comfortably exceed the longest *fault-free* gap
+    between a send and its acknowledgement (including consumer backlog
+    stalls), otherwise healthy runs pay spurious retransmits; the default
+    is far above the microsecond-scale stalls of the simulated machines.
+    """
+
+    #: simulated seconds to wait for a handoff ack before retransmitting
+    ack_timeout: float = 0.05
+    #: multiplier applied to the timeout after every failed attempt
+    backoff: float = 2.0
+    #: retransmits per payload before the producer raises FaultError
+    max_retries: int = 8
+    #: CRC32-checksum every transferred amplitude batch (detects corruption)
+    checksums: bool = True
+    #: on FaultError from the producer-consumer variant, rerun as batched
+    fallback_to_batched: bool = True
+    #: full matvec restarts allowed for non-pc variants (crash recovery)
+    matvec_restarts: int = 1
+    #: flag a locale as straggler when busy > threshold * median busy
+    straggler_threshold: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.straggler_threshold <= 1.0:
+            raise ValueError("straggler_threshold must exceed 1")
+
+    @classmethod
+    def from_config(cls, cfg: Mapping[str, Any]) -> "ResilienceConfig":
+        return cls(**dict(cfg))

@@ -26,10 +26,21 @@ class Cluster:
     The cluster object is what all distributed arrays and algorithms hang
     off; it plays the role of Chapel's ``Locales`` array.  Data placement is
     real (per-locale NumPy arrays); time is simulated.
+
+    ``faults`` / ``resilience`` attach a
+    :class:`~repro.resilience.faults.FaultPlan` and a
+    :class:`~repro.resilience.faults.ResilienceConfig` cluster-wide: a
+    :class:`~repro.distributed.operator.DistributedOperator` built on this
+    cluster picks them up automatically (this is how config files inject
+    faults without threading arguments through every call site).
     """
 
     def __init__(
-        self, n_locales: int, machine: MachineModel | None = None
+        self,
+        n_locales: int,
+        machine: MachineModel | None = None,
+        faults=None,
+        resilience=None,
     ) -> None:
         if n_locales < 1:
             raise ValueError(f"need at least one locale, got {n_locales}")
@@ -37,6 +48,8 @@ class Cluster:
         self.locales = [
             Locale(i, self.machine.cores_per_locale) for i in range(n_locales)
         ]
+        self.faults = faults
+        self.resilience = resilience
 
     @property
     def n_locales(self) -> int:

@@ -11,6 +11,9 @@ A process is a generator that yields *commands*:
     advance this process's local time by ``dt`` simulated seconds;
 ``WaitFlag(flag, value)``
     block until ``flag`` holds ``value`` (resumes immediately if it does);
+    with ``timeout=`` set, the wait resumes with ``True`` when the flag
+    matched or ``False`` when the timeout elapsed first
+    (``ok = yield WaitFlag(f, True, timeout=dt)``);
 ``Pop(queue)``
     block until an item is available; the item is sent back into the
     generator (``item = yield Pop(q)``);
@@ -30,6 +33,20 @@ spans on the blocked process's track, named queues emit depth counters,
 and named resources emit in-use counters — everything stamped with
 *simulated* time, so the exported trace shows the pipeline of Fig. 5 as
 the paper describes it.
+
+Fault injection (``Simulator(faults=FaultPlan(...))``, see
+:mod:`repro.resilience.faults`): processes spawned with ``locale=`` are
+subject to per-locale straggler slowdowns (every ``Timeout`` stretched by
+the plan's factor) and crash-at-time-T events (the process is killed the
+next time it would run at or after the crash time — its pending work is
+lost, exactly like a node dying mid-computation).  Message-level faults
+(drops, duplicates, delays, corruption) are applied by the *protocols*
+built on top of the simulator, which consult the same plan.
+
+When the heap drains with processes still blocked, :meth:`Simulator.run`
+raises :class:`~repro.errors.DeadlockError` naming every blocked process
+and the flag/queue/resource it waits on — an orphaned wait is a loud,
+typed failure, never a silent partial result.
 """
 
 from __future__ import annotations
@@ -38,6 +55,8 @@ import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator
+
+from repro.errors import DeadlockError
 
 __all__ = [
     "Simulator",
@@ -69,6 +88,10 @@ class Timeout:
 class WaitFlag:
     flag: "SimFlag"
     value: bool
+    #: give up after this many simulated seconds; the wait then resumes
+    #: with ``False`` instead of ``True`` (the retransmit timer of the
+    #: resilient RemoteBuffer protocol)
+    timeout: float | None = None
 
 
 @dataclass(frozen=True)
@@ -84,10 +107,18 @@ class Acquire:
 class Process:
     """Bookkeeping for one running generator."""
 
-    __slots__ = ("gen", "name", "finished", "track", "block_name", "block_start")
+    __slots__ = (
+        "gen", "name", "finished", "track", "block_name", "block_start",
+        "locale", "slowdown", "waiting_on",
+    )
 
     def __init__(
-        self, gen: ProcessGen, name: str, track: tuple[str, str] | None = None
+        self,
+        gen: ProcessGen,
+        name: str,
+        track: tuple[str, str] | None = None,
+        locale: int | None = None,
+        slowdown: float = 1.0,
     ) -> None:
         self.gen = gen
         self.name = name
@@ -97,23 +128,41 @@ class Process:
         #: while blocked: the stall-span name and its start time
         self.block_name: str | None = None
         self.block_start = 0.0
+        #: simulated locale this process runs on (None = not locale-bound)
+        self.locale = locale
+        #: straggler factor: every Timeout is stretched by this much
+        self.slowdown = slowdown
+        #: human-readable wait target while blocked (watchdog diagnostics)
+        self.waiting_on: str | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Process({self.name!r}, finished={self.finished})"
 
 
+class _Waiter:
+    """One parked flag wait, cancellable by its timeout timer (and vice
+    versa): whichever of ``flag.set`` / timer expiry fires first flips
+    ``done`` and the loser becomes a no-op."""
+
+    __slots__ = ("process", "done")
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.done = False
+
+
 class SimFlag:
     """A simulated atomic boolean with waiters (Chapel ``atomic bool``)."""
 
-    __slots__ = ("_sim", "value", "_waiters")
+    __slots__ = ("_sim", "value", "_waiters", "name")
 
-    def __init__(self, sim: "Simulator", value: bool = False) -> None:
+    def __init__(
+        self, sim: "Simulator", value: bool = False, name: str | None = None
+    ) -> None:
         self._sim = sim
         self.value = value
-        self._waiters: dict[bool, list[tuple[Process, Any]]] = {
-            False: [],
-            True: [],
-        }
+        self.name = name
+        self._waiters: dict[bool, list[_Waiter]] = {False: [], True: []}
 
     def set(self, value: bool) -> None:
         """Write the flag and wake processes waiting for this value."""
@@ -121,15 +170,27 @@ class SimFlag:
         waiters = self._waiters[value]
         if waiters:
             self._waiters[value] = []
-            for process, send_value in waiters:
-                self._sim._schedule(0.0, process, send_value)
+            for waiter in waiters:
+                if waiter.done:
+                    continue
+                waiter.done = True
+                self._sim._schedule(0.0, waiter.process, True)
 
-    def _wait(self, process: Process, value: bool) -> None:
+    def _wait(
+        self, process: Process, value: bool, timeout: float | None = None
+    ) -> None:
         if self.value == value:
-            self._sim._schedule(0.0, process, None)
-        else:
-            self._sim._mark_blocked(process, "stall")
-            self._waiters[value].append((process, None))
+            self._sim._schedule(0.0, process, True)
+            return
+        self._sim._mark_blocked(
+            process,
+            "stall",
+            f"flag {self.name}={value}" if self.name else f"flag={value}",
+        )
+        waiter = _Waiter(process)
+        self._waiters[value].append(waiter)
+        if timeout is not None:
+            self._sim._schedule_timer(timeout, waiter)
 
 
 class SimQueue:
@@ -171,7 +232,9 @@ class SimQueue:
             self._sim._schedule(0.0, process, self._items.popleft())
             self._sample_depth()
         else:
-            self._sim._mark_blocked(process, "idle")
+            self._sim._mark_blocked(
+                process, "idle", f"queue {self.name or '<anonymous>'}"
+            )
             self._waiters.append(process)
 
 
@@ -210,6 +273,7 @@ class SimResource:
             self._sim._mark_blocked(
                 process,
                 "wait:" + self.name if self.name is not None else "wait:resource",
+                f"resource {self.name or '<anonymous>'}",
             )
             self._waiters.append(process)
 
@@ -232,21 +296,32 @@ class Simulator:
         sim.spawn(producer(flag), name="producer")
         sim.spawn(consumer(flag), name="consumer")
         elapsed = sim.run()
+
+    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan`) activates
+    locale-level fault injection: straggler slowdowns stretch the
+    ``Timeout`` commands of locale-bound processes, and crash-at-time-T
+    specs kill those processes once the clock passes the crash time.
     """
 
-    def __init__(self, trace=None) -> None:
+    def __init__(self, trace=None, faults=None) -> None:
         self.now = 0.0
-        self._heap: list[tuple[float, int, Process, Any]] = []
+        self._heap: list[tuple[float, int, Any, Any]] = []
         self._sequence = 0
         self._active = 0
         # Only keep an enabled recorder; every tracing site then guards on
         # a single `is not None` check, so untraced runs stay fast.
         self._trace = trace if trace is not None and trace.enabled else None
+        self._faults = faults
+        self._crashes: dict[int, float] = (
+            faults.take_crashes() if faults is not None else {}
+        )
+        self.crashed_locales: set[int] = set()
+        self._processes: list[Process] = []
 
     # -- primitives -----------------------------------------------------------
 
-    def flag(self, value: bool = False) -> SimFlag:
-        return SimFlag(self, value)
+    def flag(self, value: bool = False, name: str | None = None) -> SimFlag:
+        return SimFlag(self, value, name)
 
     def queue(self, name: str | None = None) -> SimQueue:
         return SimQueue(self, name)
@@ -261,14 +336,24 @@ class Simulator:
         gen: ProcessGen | Iterator,
         name: str = "task",
         track: tuple[str, str] | None = None,
+        locale: int | None = None,
     ) -> Process:
-        process = Process(gen, name, track)
+        slowdown = (
+            self._faults.slowdown(locale)
+            if self._faults is not None and locale is not None
+            else 1.0
+        )
+        process = Process(gen, name, track, locale=locale, slowdown=slowdown)
         self._active += 1
+        self._processes.append(process)
         self._schedule(0.0, process, None)
         return process
 
-    def _mark_blocked(self, process: Process, kind: str) -> None:
-        """Remember that a process just blocked (for its stall span)."""
+    def _mark_blocked(
+        self, process: Process, kind: str, detail: str | None = None
+    ) -> None:
+        """Remember that a process just blocked (stall span + watchdog)."""
+        process.waiting_on = detail if detail is not None else kind
         if self._trace is not None:
             process.block_name = kind
             process.block_start = self.now
@@ -289,9 +374,45 @@ class Simulator:
             self._heap, (self.now + delay, self._sequence, process, value)
         )
 
+    def _schedule_timer(self, delay: float, waiter: _Waiter) -> None:
+        """Park a cancellable timeout for a flag wait.
+
+        Timer entries carry ``None`` in the process slot; a cancelled
+        timer (its waiter already woken by ``flag.set``) is skipped
+        *without* advancing the clock, so unfired retransmit timers never
+        stretch the simulated elapsed time.
+        """
+        self._sequence += 1
+        heapq.heappush(
+            self._heap, (self.now + delay, self._sequence, None, waiter)
+        )
+
+    def _kill(self, process: Process) -> None:
+        """Crash delivery: the process dies where it stands."""
+        process.finished = True
+        self._active -= 1
+        process.gen.close()
+        locale = process.locale
+        if locale is not None and locale not in self.crashed_locales:
+            self.crashed_locales.add(locale)
+            if self._faults is not None:
+                self._faults.record_crash(locale)
+            if self._trace is not None:
+                self._trace.instant(
+                    process.track, f"crash locale {locale}", self.now
+                )
+
     # -- event loop -----------------------------------------------------------
 
     def _step(self, process: Process, value: Any) -> None:
+        if process.finished:
+            # A stale wakeup for a crashed/killed process: drop it.
+            return
+        if process.locale is not None and self._crashes:
+            deadline = self._crashes.get(process.locale)
+            if deadline is not None and self.now >= deadline:
+                self._kill(process)
+                return
         trace = self._trace
         if trace is not None and process.block_name is not None:
             # The process was blocked and is resuming now: emit its stall
@@ -304,6 +425,7 @@ class Simulator:
                     self.now - process.block_start,
                 )
             process.block_name = None
+        process.waiting_on = None
         try:
             command = process.gen.send(value)
         except StopIteration:
@@ -311,17 +433,18 @@ class Simulator:
             self._active -= 1
             return
         if isinstance(command, Timeout):
+            delay = max(command.delay, 0.0) * process.slowdown
             if trace is not None and command.label is not None:
                 trace.complete(
                     process.track,
                     command.label,
                     self.now,
-                    max(command.delay, 0.0),
+                    delay,
                     command.args,
                 )
-            self._schedule(max(command.delay, 0.0), process, None)
+            self._schedule(delay, process, None)
         elif isinstance(command, WaitFlag):
-            command.flag._wait(process, command.value)
+            command.flag._wait(process, command.value, command.timeout)
         elif isinstance(command, Pop):
             command.queue._pop(process)
         elif isinstance(command, Acquire):
@@ -335,20 +458,49 @@ class Simulator:
     def run(self, until: float | None = None) -> float:
         """Run until no events remain (or ``until`` is reached).
 
-        Returns the final simulated time.  Raises ``RuntimeError`` if
-        processes remain blocked with an empty event heap (deadlock).
+        Returns the final simulated time.  Raises
+        :class:`~repro.errors.DeadlockError` (a ``RuntimeError`` subclass)
+        if processes remain blocked with an empty event heap, naming every
+        blocked process and the flag/queue/resource it waits on.
         """
         while self._heap:
             time, _, process, value = heapq.heappop(self._heap)
+            if process is None:
+                # A flag-wait timeout timer.  Cancelled timers are
+                # discarded without touching the clock.
+                if value.done:
+                    continue
+                if until is not None and time > until:
+                    self.now = until
+                    return self.now
+                self.now = time
+                value.done = True
+                self._schedule(0.0, value.process, False)
+                continue
             if until is not None and time > until:
                 self.now = until
                 return self.now
             self.now = time
             self._step(process, value)
         if self._active:
-            blocked = self._active
-            raise RuntimeError(
-                f"simulation deadlock: {blocked} process(es) still blocked "
-                "on flags/queues/resources with no pending events"
+            blocked = [
+                (p.name, p.waiting_on or "<unknown>")
+                for p in self._processes
+                if not p.finished
+            ]
+            details = "; ".join(
+                f"{name} waiting on {target}" for name, target in blocked[:8]
+            )
+            if len(blocked) > 8:
+                details += f"; ... and {len(blocked) - 8} more"
+            crashed = sorted(self.crashed_locales)
+            suffix = (
+                f" (crashed locales: {crashed})" if crashed else ""
+            )
+            raise DeadlockError(
+                f"simulation deadlock: {len(blocked)} process(es) still "
+                f"blocked with no pending events: {details}{suffix}",
+                blocked=blocked,
+                crashed_locales=crashed,
             )
         return self.now

@@ -1,0 +1,452 @@
+"""Tests for the fault-injection runtime, the self-healing matvec, and
+checkpoint/restart of the Krylov solvers.
+
+The resilience contract under test (docs/RESILIENCE.md): under any seeded
+fault plan every matvec either recovers to the fault-free result or raises
+a typed FaultError; fault injection is deterministic per seed; a solver
+killed mid-iteration and resumed from its checkpoint continues bit-for-bit
+identically; and corrupted state on disk is detected, never silently
+loaded.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.basis import SpinBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.distributed.vector import DistributedVectorSpace
+from repro.errors import CheckpointError, ConvergenceError, FaultError
+from repro.linalg.davidson import davidson
+from repro.linalg.lanczos import lanczos, lanczos_distributed
+from repro.resilience import (
+    FaultPlan,
+    ResilienceConfig,
+    latest_checkpoint,
+    list_checkpoints,
+    load_latest_checkpoint,
+    write_checkpoint,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.telemetry import Telemetry
+
+CHAOS_PLANS = [
+    dict(seed=11, drop=0.05, delay=0.2, max_delay=1e-4),
+    dict(seed=12, duplicate=0.06, corrupt=0.03),
+    dict(seed=13, drop=0.03, duplicate=0.03, corrupt=0.02, delay=0.1,
+         max_delay=5e-5, stragglers={1: 2.0}),
+    dict(seed=14, crashes={2: 1e-5}),
+]
+
+
+def make_dbasis(n_locales=4, cores=8, n=10, weight=5, faults=None,
+                resilience=None):
+    cluster = Cluster(
+        n_locales, laptop_machine(cores=cores), faults=faults,
+        resilience=resilience,
+    )
+    dbasis, _ = enumerate_states(
+        cluster, SpinBasis(n, hamming_weight=weight),
+        use_weight_shortcut=True,
+    )
+    return dbasis
+
+
+@pytest.fixture(scope="module")
+def setup():
+    dbasis = make_dbasis()
+    expr = repro.heisenberg_chain(10)
+    x = DistributedVector.full_random(dbasis, seed=7)
+    return dbasis, expr, x
+
+
+class TestFaultPlan:
+    def test_same_seed_same_fates(self):
+        a = FaultPlan(seed=42, drop=0.1, duplicate=0.1, corrupt=0.1,
+                      delay=0.2, max_delay=1e-3)
+        b = FaultPlan(seed=42, drop=0.1, duplicate=0.1, corrupt=0.1,
+                      delay=0.2, max_delay=1e-3)
+        fates_a = [a.message_fate(0, 1) for _ in range(200)]
+        fates_b = [b.message_fate(0, 1) for _ in range(200)]
+        assert fates_a == fates_b
+        assert any(f.drop for f in fates_a)
+        assert any(f.duplicate for f in fates_a)
+        assert any(f.corrupt for f in fates_a)
+
+    def test_fresh_rewinds(self):
+        plan = FaultPlan(seed=3, drop=0.2)
+        first = [plan.message_fate(0, 1) for _ in range(50)]
+        rewound = plan.fresh()
+        again = [rewound.message_fate(0, 1) for _ in range(50)]
+        assert first == again
+
+    def test_crashes_are_one_shot(self):
+        plan = FaultPlan(seed=0, crashes={1: 0.5})
+        assert plan.take_crashes() == {1: 0.5}
+        assert plan.take_crashes() == {}
+
+    def test_config_roundtrip(self):
+        plan = FaultPlan(seed=9, drop=0.01, duplicate=0.02, delay=0.03,
+                         max_delay=1e-4, corrupt=0.04,
+                         stragglers={2: 1.5}, crashes={0: 0.25})
+        clone = FaultPlan.from_config(plan.to_config())
+        assert clone.to_config() == plan.to_config()
+        assert clone.stragglers == {2: 1.5}
+        assert clone.take_crashes() == {0: 0.25}
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            FaultPlan.from_config({"seed": 1, "droop": 0.5})
+
+    def test_resilience_config_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(ack_timeout=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+
+
+class TestDeterministicInjection:
+    def test_same_seed_identical_run(self, setup):
+        """Two runs with fresh copies of one plan agree on the result, the
+        simulated time, and every fault/recovery metric count."""
+        dbasis, expr, x = setup
+        plan = FaultPlan(seed=5, drop=0.04, duplicate=0.04, corrupt=0.02,
+                         delay=0.1, max_delay=1e-4)
+
+        def run(p):
+            tele = Telemetry.enabled()
+            with telemetry.use(tele):
+                op = DistributedOperator(expr, dbasis, method="pc", faults=p)
+                y = op.matvec(x)
+            snap = tele.metrics.snapshot()
+            counts = {
+                name: snap.counter_total(name)
+                for name in (
+                    "fault.drops", "fault.duplicates", "fault.corruptions",
+                    "fault.delays", "fault.timeouts",
+                    "recovery.retransmits", "recovery.checksum_rejects",
+                    "recovery.duplicates_discarded",
+                )
+            }
+            return y, op.last_report.elapsed, counts
+
+        y1, t1, c1 = run(plan.fresh())
+        y2, t2, c2 = run(plan.fresh())
+        assert t1 == t2
+        assert c1 == c2
+        assert c1["recovery.retransmits"] > 0
+        for a, b in zip(y1.parts, y2.parts):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("method", ["naive", "batched", "pc"])
+    @pytest.mark.parametrize("spec", CHAOS_PLANS,
+                             ids=[f"plan{p['seed']}" for p in CHAOS_PLANS])
+    def test_recovers_or_raises_typed_fault(self, setup, method, spec):
+        dbasis, expr, x = setup
+        reference_op = DistributedOperator(expr, dbasis, method=method)
+        reference = reference_op.matvec(x)
+        op = DistributedOperator(
+            expr, dbasis, method=method, faults=FaultPlan(**spec)
+        )
+        try:
+            y = op.matvec(x)
+        except FaultError:
+            return  # typed failure is an acceptable outcome — never a hang
+        err = max(
+            float(np.abs(a - b).max())
+            for a, b in zip(y.parts, reference.parts)
+        )
+        assert err <= 1e-10
+        assert op.last_report.extras.get("resilient") == 1.0
+
+    def test_corruption_without_checksums_rejected(self, setup):
+        dbasis, expr, x = setup
+        op = DistributedOperator(
+            expr, dbasis, method="pc",
+            faults=FaultPlan(seed=1, corrupt=0.1),
+            resilience=ResilienceConfig(checksums=False),
+        )
+        with pytest.raises(ValueError, match="checksum"):
+            op.matvec(x)
+
+    def test_pc_crash_falls_back_to_batched(self, setup):
+        dbasis, expr, x = setup
+        reference = DistributedOperator(expr, dbasis, method="pc").matvec(x)
+        tele = Telemetry.enabled()
+        with telemetry.use(tele):
+            op = DistributedOperator(
+                expr, dbasis, method="pc",
+                faults=FaultPlan(seed=2, crashes={1: 1e-6}),
+            )
+            y = op.matvec(x)
+        assert op.last_report.extras.get("fallback") == 1.0
+        assert tele.metrics.snapshot().counter_total("recovery.fallbacks") == 1
+        for a, b in zip(y.parts, reference.parts):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_exhausted_budgets_raise(self, setup):
+        dbasis, expr, x = setup
+        op = DistributedOperator(
+            expr, dbasis, method="naive",
+            faults=FaultPlan(seed=2, crashes={0: 1e-6}),
+            resilience=ResilienceConfig(
+                fallback_to_batched=False, matvec_restarts=0
+            ),
+        )
+        with pytest.raises(FaultError):
+            op.matvec(x)
+
+    def test_cluster_attaches_faults_to_operator(self):
+        plan = FaultPlan(seed=4, drop=0.02)
+        dbasis = make_dbasis(faults=plan)
+        op = DistributedOperator(repro.heisenberg_chain(10), dbasis)
+        assert op.faults is plan
+        assert op.resilience is not None
+
+
+class _KillSwitch:
+    """Wraps an operator; raises after a set number of matvecs (SIGKILL
+    stand-in for 'the job died mid-iteration')."""
+
+    def __init__(self, operator, survive: int) -> None:
+        self.operator = operator
+        self.survive = survive
+        self.calls = 0
+
+    def matvec(self, v):
+        self.calls += 1
+        if self.calls > self.survive:
+            raise KeyboardInterrupt("killed mid-iteration")
+        return self.operator.matvec(v)
+
+
+class TestCheckpointRestart:
+    def test_lanczos_distributed_resume_bit_identical(self, setup, tmp_path):
+        """A distributed Lanczos killed mid-iteration and resumed produces
+        bit-identical eigenvalues and iteration count (acceptance test)."""
+        dbasis, expr, _ = setup
+        op = DistributedOperator(expr, dbasis)
+        uninterrupted, _ = lanczos_distributed(op, k=1, seed=3, tol=1e-11)
+
+        ckpt = tmp_path / "krylov"
+        space = DistributedVectorSpace(dbasis)
+        v0 = DistributedVector.full_random(dbasis, seed=3)
+        killed = _KillSwitch(DistributedOperator(expr, dbasis), survive=12)
+        with pytest.raises(KeyboardInterrupt):
+            lanczos(killed.matvec, v0, k=1, tol=1e-11, space=space,
+                    checkpoint_dir=ckpt, checkpoint_every=4)
+        assert list_checkpoints(ckpt)
+
+        resumed_op = DistributedOperator(expr, dbasis)
+        resumed = lanczos(resumed_op.matvec, v0, k=1, tol=1e-11, space=space,
+                          checkpoint_dir=ckpt, resume=True)
+        np.testing.assert_array_equal(
+            resumed.eigenvalues, uninterrupted.eigenvalues
+        )
+        assert resumed.n_iterations == uninterrupted.n_iterations
+        np.testing.assert_array_equal(resumed.alphas, uninterrupted.alphas)
+        np.testing.assert_array_equal(resumed.betas, uninterrupted.betas)
+
+    def test_serial_lanczos_resume_bit_identical(self, tmp_path):
+        basis = SpinBasis(12, hamming_weight=6)
+        op = repro.Operator(repro.heisenberg_chain(12), basis)
+        v0 = np.random.default_rng(0).standard_normal(basis.dim)
+        reference = lanczos(op, v0, k=2, tol=1e-12)
+
+        killed = _KillSwitch(op, survive=20)
+        with pytest.raises(KeyboardInterrupt):
+            lanczos(killed.matvec, v0, k=2, tol=1e-12,
+                    checkpoint_dir=tmp_path, checkpoint_every=5)
+        resumed = lanczos(op, v0, k=2, tol=1e-12,
+                          checkpoint_dir=tmp_path, resume=True)
+        np.testing.assert_array_equal(
+            resumed.eigenvalues, reference.eigenvalues
+        )
+        assert resumed.n_iterations == reference.n_iterations
+
+    def test_davidson_resume_bit_identical(self, tmp_path):
+        basis = SpinBasis(12, hamming_weight=6)
+        op = repro.Operator(repro.heisenberg_chain(12), basis)
+        diag = op.diagonal()
+        reference = davidson(op, diag, k=2, seed=5, tol=1e-10)
+
+        killed = _KillSwitch(op, survive=25)
+        with pytest.raises(KeyboardInterrupt):
+            davidson(killed.matvec, diag, k=2, seed=5, tol=1e-10,
+                     checkpoint_dir=tmp_path, checkpoint_every=3)
+        resumed = davidson(op, diag, k=2, seed=5, tol=1e-10,
+                           checkpoint_dir=tmp_path, resume=True)
+        np.testing.assert_array_equal(
+            resumed.eigenvalues, reference.eigenvalues
+        )
+        assert resumed.n_iterations == reference.n_iterations
+
+    def test_resume_without_dir_rejected(self):
+        basis = SpinBasis(8, hamming_weight=4)
+        op = repro.Operator(repro.heisenberg_chain(8), basis)
+        v0 = np.ones(basis.dim)
+        with pytest.raises(CheckpointError, match="checkpoint_dir"):
+            lanczos(op, v0, k=1, resume=True, raise_on_no_convergence=False)
+
+    def test_resume_from_empty_dir_is_cold_start(self, tmp_path):
+        basis = SpinBasis(10, hamming_weight=5)
+        op = repro.Operator(repro.heisenberg_chain(10), basis)
+        v0 = np.random.default_rng(1).standard_normal(basis.dim)
+        cold = lanczos(op, v0, k=1, tol=1e-10)
+        warm = lanczos(op, v0, k=1, tol=1e-10,
+                       checkpoint_dir=tmp_path, resume=True)
+        np.testing.assert_array_equal(cold.eigenvalues, warm.eigenvalues)
+
+    def test_checkpoints_pruned_to_keep(self, tmp_path):
+        for iteration in range(1, 6):
+            write_checkpoint(
+                tmp_path, iteration,
+                arrays={"x": np.arange(3.0) * iteration},
+            )
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert names == ["ckpt-000004", "ckpt-000005"]
+
+    def test_corrupt_newest_falls_back_to_previous(self, tmp_path):
+        tele = Telemetry.enabled()
+        with telemetry.use(tele):
+            write_checkpoint(tmp_path, 1, arrays={"x": np.arange(4.0)})
+            write_checkpoint(tmp_path, 2, arrays={"x": np.arange(4.0) * 2})
+            newest = latest_checkpoint(tmp_path)
+            blob = (newest / "state.npz").read_bytes()
+            (newest / "state.npz").write_bytes(
+                blob[:-4] + bytes(4 * [0x55])
+            )
+            state = load_latest_checkpoint(tmp_path)
+        assert state.iteration == 1
+        snap = tele.metrics.snapshot()
+        assert snap.counter_total("checkpoint.skipped_corrupt") == 1
+
+    def test_all_corrupt_raises(self, tmp_path):
+        write_checkpoint(tmp_path, 1, arrays={"x": np.arange(4.0)})
+        newest = latest_checkpoint(tmp_path)
+        (newest / "manifest.json").write_text("{ not json")
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            load_latest_checkpoint(tmp_path)
+
+    def test_missing_file_detected(self, tmp_path):
+        write_checkpoint(tmp_path, 3, arrays={"x": np.arange(4.0)})
+        newest = latest_checkpoint(tmp_path)
+        (newest / "state.npz").unlink()
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            load_latest_checkpoint(tmp_path)
+
+    def test_distributed_vector_chunk_corruption_detected(
+        self, setup, tmp_path
+    ):
+        from repro.io.vectors import (
+            load_distributed_vector,
+            save_distributed_vector,
+        )
+
+        dbasis, _, x = setup
+        save_distributed_vector(tmp_path, x)
+        chunk = next(tmp_path.glob("*.npy"))
+        blob = bytearray(chunk.read_bytes())
+        blob[-1] ^= 0xFF
+        chunk.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="CRC32"):
+            load_distributed_vector(tmp_path, dbasis)
+
+
+class TestTypedErrors:
+    def test_convergence_error_carries_diagnostics(self):
+        basis = SpinBasis(12, hamming_weight=6)
+        op = repro.Operator(repro.heisenberg_chain(12), basis)
+        v0 = np.random.default_rng(2).standard_normal(basis.dim)
+        with pytest.raises(ConvergenceError) as excinfo:
+            lanczos(op, v0, k=1, tol=1e-14, max_iter=5)
+        assert excinfo.value.n_iterations == 5
+        assert excinfo.value.last_residual > 0
+
+    def test_davidson_convergence_error_diagnostics(self):
+        basis = SpinBasis(10, hamming_weight=5)
+        op = repro.Operator(repro.heisenberg_chain(10), basis)
+        with pytest.raises(ConvergenceError) as excinfo:
+            davidson(op, op.diagonal(), k=1, tol=1e-14, max_iter=3)
+        assert excinfo.value.n_iterations == 3
+        assert excinfo.value.last_residual > 0
+
+    def test_fault_error_is_repro_error(self):
+        from repro.errors import DeadlockError, ReproError
+
+        assert issubclass(FaultError, ReproError)
+        assert issubclass(DeadlockError, FaultError)
+        assert issubclass(DeadlockError, RuntimeError)
+
+
+class TestConfigIntegration:
+    def test_faulty_cluster_section_recovers(self):
+        spec = {
+            "n_sites": 10,
+            "hamiltonian": {"model": "heisenberg_chain"},
+            "basis": {"hamming_weight": 5},
+            "solver": {"k": 1, "tol": 1e-10},
+            "cluster": {
+                "n_locales": 4,
+                "machine": "laptop",
+                "faults": {"seed": 3, "drop": 0.02, "duplicate": 0.02,
+                           "corrupt": 0.01, "delay": 0.05,
+                           "max_delay": 1e-4},
+            },
+        }
+        faulty = repro.run_simulation(repro.load_simulation(spec), seed=1)
+        serial = repro.run_simulation(
+            repro.load_simulation(
+                {k: v for k, v in spec.items() if k != "cluster"}
+            ),
+            seed=1,
+        )
+        assert faulty["converged"]
+        assert faulty["eigenvalues"][0] == pytest.approx(
+            serial["eigenvalues"][0], abs=1e-9
+        )
+
+    def test_checkpoint_section_and_resume(self, tmp_path):
+        spec = {
+            "n_sites": 10,
+            "hamiltonian": {"model": "heisenberg_chain"},
+            "basis": {"hamming_weight": 5},
+            "solver": {
+                "k": 1, "tol": 1e-10,
+                "checkpoint": {"dir": str(tmp_path), "every": 5},
+            },
+        }
+        first = repro.run_simulation(repro.load_simulation(spec), seed=1)
+        assert list_checkpoints(tmp_path)
+        spec["solver"]["checkpoint"]["resume"] = True
+        resumed = repro.run_simulation(repro.load_simulation(spec), seed=1)
+        assert resumed["eigenvalues"] == first["eigenvalues"]
+
+    def test_cli_faults_flag(self, tmp_path, capsys):
+        from repro.config import main
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({"seed": 3, "drop": 0.02}))
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps({
+            "n_sites": 8,
+            "hamiltonian": {"model": "heisenberg_chain"},
+            "basis": {"hamming_weight": 4},
+            "solver": {"k": 1, "tol": 1e-10},
+            "cluster": {"n_locales": 2, "machine": "laptop"},
+        }))
+        main([str(input_path), "--faults", str(plan_path)])
+        out = json.loads(capsys.readouterr().out)
+        assert out["converged"]
