@@ -1,0 +1,193 @@
+"""Block (multi-RHS) matvec amortization benchmarks.
+
+Two artifacts, both gated against ``benchmarks/baselines/``:
+
+- ``block_matvec``: the measured serial per-column amortization curve for
+  k = 1, 2, 4, 8 on the warm-plan path.  The hard in-test gate is the PR's
+  acceptance bar — the k=8 block matvec must cost at most 40% per column
+  of the single-vector matvec (wall-clock, warm plan).  The per-column win
+  comes from the plan's CSR scatter layout, which shares one index load
+  per matrix element across all k columns, where the single-vector path
+  pays it per call.
+- ``block_matvec_distributed``: deterministic simulated metrics of the
+  batched distributed variant on a 4-locale laptop cluster.  A k-wide
+  block matvec must put strictly fewer bytes on the wire than k single
+  matvecs (betas travel once per element, ``wire_bytes(n, k)`` vs
+  ``k * wire_bytes(n, 1)``) and cost less simulated time per column.
+  These are pure functions of the machine model, so the regression gate
+  holds them byte-exact.
+
+Set ``BENCH_SMOKE=1`` for the reduced problem size used by CI.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from time import perf_counter
+
+import numpy as np
+
+import repro
+from conftest import write_result
+from repro.basis import SymmetricBasis
+from repro.distributed import DistributedVector, matvec_batched
+from repro.operators import MatvecPlan, compile_expression
+from repro.symmetry import chain_symmetries
+
+SMOKE = bool(int(os.environ.get("BENCH_SMOKE", "0")))
+N_SITES = 16 if SMOKE else 24
+WEIGHT = N_SITES // 2
+WIDTHS = (2, 4, 8)
+
+#: The PR's acceptance bar: per-column cost of the k=8 block at most this
+#: fraction of the warm single-vector matvec.
+GATE_FRACTION = 0.40
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def test_block_amortization_curve():
+    """Warm-plan serial matvec: per-column wall-clock vs block width."""
+    group = chain_symmetries(N_SITES, momentum=0, parity=0, inversion=0)
+    basis = SymmetricBasis(group, hamming_weight=WEIGHT)
+    op = repro.Operator(repro.heisenberg_chain(N_SITES), basis)
+    rng = np.random.default_rng(1)
+    x1 = rng.standard_normal(basis.dim)
+
+    op.matvec(x1)  # populate the plan
+    t_single = best_of(lambda: op.matvec(x1))
+
+    block_seconds: dict[str, float] = {}
+    per_column: dict[str, float] = {"k1": t_single}
+    speedup: dict[str, float] = {"k1": 1.0}
+    for k in WIDTHS:
+        block = rng.standard_normal((basis.dim, k))
+        looped = np.stack(
+            [op.matvec(block[:, j]) for j in range(k)], axis=1
+        )
+        np.testing.assert_allclose(
+            op.matvec(block), looped, rtol=1e-12, atol=1e-13
+        )
+        t_block = best_of(lambda: op.matvec(block))
+        block_seconds[f"k{k}"] = t_block
+        per_column[f"k{k}"] = t_block / k
+        speedup[f"k{k}"] = t_single / (t_block / k)
+
+    lines = [
+        f"block matvec amortization, chain {N_SITES} sites, "
+        f"dim={basis.dim} (warm plan)",
+        f"  single-vector:      {1e3 * t_single:9.3f} ms/column",
+    ]
+    for k in WIDTHS:
+        lines.append(
+            f"  k={k}: block {1e3 * block_seconds[f'k{k}']:9.3f} ms, "
+            f"{1e3 * per_column[f'k{k}']:7.3f} ms/column "
+            f"({speedup[f'k{k}']:.2f}x)"
+        )
+    write_result(
+        "block_matvec",
+        "\n".join(lines) + "\n",
+        data={
+            "n_sites": N_SITES,
+            "dim": int(basis.dim),
+            "single_seconds": t_single,
+            "block_seconds": block_seconds,
+            "per_column_seconds": per_column,
+            "amortization_speedup": speedup,
+            "gate_fraction": GATE_FRACTION,
+            "smoke": SMOKE,
+        },
+    )
+    # The hard acceptance gate (wall-clock, warm plan): k=8 per-column
+    # cost at most 40% of the single-vector path.
+    assert per_column["k8"] <= GATE_FRACTION * t_single, (
+        f"k=8 block costs {per_column['k8'] / t_single:.2%} per column "
+        f"of the single-vector matvec (gate: {GATE_FRACTION:.0%})"
+    )
+
+
+def test_block_distributed_wire_bytes(chain16_setup):
+    """Simulated wire traffic and time of block vs repeated single matvecs.
+
+    Everything asserted here is a deterministic output of the simulated
+    machine, so the baseline comparison is byte-exact.  The ``k`` singles
+    re-send the betas with every vector (``k * 16`` bytes per element);
+    the block sends them once (``8 + 8k``), hence strictly fewer bytes.
+    """
+    serial, dbasis, _ = chain16_setup
+    k = 8
+    compiled = compile_expression(repro.heisenberg_chain(16), 16)
+
+    plan = MatvecPlan()
+    singles = [
+        DistributedVector.full_random(dbasis, seed=seed) for seed in range(k)
+    ]
+    single_reports = []
+    for x in singles:
+        _, rep = matvec_batched(compiled, dbasis, x, plan=plan)
+        single_reports.append(rep)
+    # First call was cold (populates the plan); re-run one single warm so
+    # the time comparison is warm-vs-warm.
+    _, single_warm = matvec_batched(compiled, dbasis, singles[0], plan=plan)
+
+    block = DistributedVector.full_random(dbasis, columns=k)
+    for j, x in enumerate(singles):
+        for part, xpart in zip(block.parts, x.parts):
+            part[:, j] = xpart
+    y_block, block_rep = matvec_batched(compiled, dbasis, block, plan=plan)
+
+    # Correctness: the block columns match the single-vector results.
+    looped = np.stack(
+        [
+            matvec_batched(compiled, dbasis, x, plan=plan)[0].to_serial(
+                serial
+            )
+            for x in singles
+        ],
+        axis=1,
+    )
+    np.testing.assert_allclose(
+        y_block.to_serial(serial), looped, rtol=1e-12, atol=1e-13
+    )
+
+    singles_bytes = sum(rep.bytes_sent for rep in single_reports)
+    lines = [
+        f"distributed block matvec (batched), chain 16, "
+        f"dim={serial.dim}, {dbasis.n_locales} locales, k={k}",
+        f"  {k} singles:  {singles_bytes:>12d} bytes on the wire",
+        f"  one block:  {block_rep.bytes_sent:>12d} bytes on the wire "
+        f"({block_rep.bytes_sent / singles_bytes:.2f}x)",
+        f"  warm single: {single_warm.elapsed:.6f} simulated s",
+        f"  warm block:  {block_rep.elapsed:.6f} simulated s "
+        f"({block_rep.elapsed / k:.6f} per column)",
+    ]
+    write_result(
+        "block_matvec_distributed",
+        "\n".join(lines) + "\n",
+        data={
+            "dim": int(serial.dim),
+            "n_locales": int(dbasis.n_locales),
+            "block_width": k,
+            "bytes_single_matvec": int(single_reports[0].bytes_sent),
+            "bytes_singles_total": int(singles_bytes),
+            "bytes_block": int(block_rep.bytes_sent),
+            "messages_single": int(single_reports[0].messages),
+            "messages_block": int(block_rep.messages),
+            "simulated_seconds": {
+                "single_warm": single_warm.elapsed,
+                "block": block_rep.elapsed,
+                "block_per_column": block_rep.elapsed / k,
+            },
+            "smoke": SMOKE,
+        },
+    )
+    assert block_rep.bytes_sent < singles_bytes
+    assert block_rep.elapsed / k < single_warm.elapsed

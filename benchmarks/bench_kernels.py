@@ -216,6 +216,52 @@ def test_permutation_network_cold_vs_warm(batch):
     assert t_warm <= t_cold
 
 
+def test_radix_partition_vs_argsort(batch):
+    """The linear-time counting-sort partition vs the old stable argsort.
+
+    ``produce_chunk`` used ``np.argsort(dests, kind="stable")`` — an
+    8-byte-key radix sort — where an O(n + n_locales) counting scatter
+    suffices because the keys are small locale indices.  Both orders are
+    stable, hence identical; the counting scatter must not lose.
+    """
+    from repro.distributed.convert import counting_sort_order
+
+    n_locales = 32
+    dests = locale_of(batch, n_locales)
+
+    def argsort_order():
+        return np.argsort(dests, kind="stable")
+
+    counting_sort_order(dests, n_locales)  # warm
+    t_argsort = best_of(argsort_order, repeats=5)
+    t_counting = best_of(
+        lambda: counting_sort_order(dests, n_locales), repeats=5
+    )
+    order, starts = counting_sort_order(dests, n_locales)
+    np.testing.assert_array_equal(order, argsort_order())
+    speedup = t_argsort / t_counting
+    write_result(
+        "kernels_radix_partition",
+        f"destination partition, {batch.size} elements, "
+        f"{n_locales} locales\n"
+        f"  argsort(kind='stable'):  {1e3 * t_argsort:9.3f} ms\n"
+        f"  counting-sort scatter:   {1e3 * t_counting:9.3f} ms\n"
+        f"  speedup:                 {speedup:9.2f}x\n",
+        data={
+            "n_elements": int(batch.size),
+            "n_locales": n_locales,
+            "argsort_seconds": t_argsort,
+            "counting_seconds": t_counting,
+            "speedup": speedup,
+            "smoke": SMOKE,
+        },
+    )
+    # Identical permutations, and the linear-time path must at least tie
+    # (it wins by 3-5x at realistic locale counts; leave slack for CI
+    # timer noise).
+    assert speedup >= 0.8
+
+
 def test_plan_replay_speedup(group):
     """Warm (plan-replay) matvec vs cold, and the plan hit-rate.
 

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.basis.spin_basis import Basis
 from repro.distributed.block import BlockArray, block_boundaries
-from repro.distributed.matvec_common import ELEMENT_BYTES
+from repro.distributed.matvec_common import wire_bytes
 from repro.errors import DistributionError
 from repro.operators.compile import CompiledOperator, compile_expression
 from repro.operators.expression import Expression
@@ -221,7 +221,7 @@ class SpinpackOperator:
             for src in range(n):
                 for dest in range(n):
                     packed[src, dest] = (
-                        send_betas[src][dest].size * ELEMENT_BYTES
+                        wire_bytes(send_betas[src][dest].size)
                     )
             t_exchange = self.mpi.exchange_cost(packed)
             report.elapsed += t_exchange
@@ -230,7 +230,7 @@ class SpinpackOperator:
                 for src in range(n):
                     nb = send_betas[src][locale]
                     report.messages += 1 if nb.size else 0
-                    report.bytes_sent += nb.size * ELEMENT_BYTES
+                    report.bytes_sent += wire_bytes(nb.size)
 
             # --- accumulate phase (synchronized) --------------------------
             acc_elapsed = 0.0

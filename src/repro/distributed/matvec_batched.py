@@ -24,11 +24,12 @@ import numpy as np
 
 from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.matvec_common import (
-    ELEMENT_BYTES,
     apply_diagonal,
     check_vectors,
     consume,
+    extra_column_time,
     produce_chunk,
+    wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
 from repro.errors import FaultError
@@ -72,10 +73,12 @@ def matvec_batched(
     machine = basis.cluster.machine
     net = machine.network
     n = basis.n_locales
+    k = x.n_columns
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
     tele = current_telemetry()
     metrics = tele.metrics
+    metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
 
     resilient = faults is not None or resilience is not None
@@ -95,7 +98,7 @@ def matvec_batched(
     pair_time = np.zeros((n, n))
     for locale in range(n):
         compute_busy[locale] += machine.compute_time(
-            machine.t_axpy, int(basis.counts[locale])
+            machine.t_axpy, int(basis.counts[locale]) * k
         )
 
     for locale in range(n):
@@ -108,7 +111,7 @@ def matvec_batched(
             gen = machine.compute_time(machine.t_generate, chunk.n_emitted)
             part = machine.compute_time(
                 machine.t_partition + machine.t_hash, chunk.betas.size
-            )
+            ) + extra_column_time(machine, chunk.betas.size, k)
             compute_busy[locale] += gen + part
             ledger.add("generate", locale, gen + part)
             for dest in range(n):
@@ -119,7 +122,7 @@ def matvec_batched(
                     basis, dest, y.parts[dest], betas, values,
                     chunk.rows_for(dest),
                 )
-                nbytes = betas.size * ELEMENT_BYTES
+                nbytes = wire_bytes(betas.size, k)
                 report.messages += 1
                 report.bytes_sent += nbytes
                 metrics.counter("matvec.messages", src=locale, dst=dest).inc()
@@ -167,9 +170,11 @@ def matvec_batched(
                             ).inc()
                         extra_nic[locale] += fate.extra_delay
                         extra_nic[dest] += fate.extra_delay
-                spawn_and_search = machine.compute_time(
-                    machine.t_search_accum, betas.size
-                ) + machine.compute_time(machine.task_spawn_overhead, 1)
+                spawn_and_search = (
+                    machine.compute_time(machine.t_search_accum, betas.size)
+                    + machine.compute_time(machine.task_spawn_overhead, 1)
+                    + extra_column_time(machine, betas.size, k)
+                )
                 compute_busy[dest] += spawn_and_search
                 ledger.add("consume", dest, spawn_and_search)
 
@@ -198,6 +203,8 @@ def matvec_batched(
             ledger.add("straggler", locale, straggler_extra)
     report.elapsed = float(per_locale.max()) if n else 0.0
     report.merge_phase("matvec", report.elapsed)
+    report.extras["block_width"] = float(k)
+    report.extras["seconds_per_column"] = report.elapsed / k
     if trace is not None:
         # Chapel tasks yield while blocked on communication, so the cost
         # model lets the NIC time overlap the compute time; the trace

@@ -2,11 +2,22 @@
 
 All three variants (naive, batched, producer-consumer) share the same
 producer-side kernel — ``getManyRows`` on a chunk of local source states,
-multiplication by the source amplitudes, and the linear-time partition by
-destination locale — and the same consumer-side kernel — the local binary
-search (``stateToIndex``) plus the atomic accumulate.  They differ only in
-how the two sides are scheduled and how data travels, which is exactly the
-axis the paper explores.
+multiplication by the source amplitudes, and the linear-time counting-sort
+partition by destination locale (:func:`~repro.distributed.convert.counting_sort_order`)
+— and the same consumer-side kernel — the local binary search
+(``stateToIndex``) plus the atomic accumulate.  They differ only in how the
+two sides are scheduled and how data travels, which is exactly the axis the
+paper explores.
+
+Every kernel here is *block-aware*: the input vector may carry ``k`` columns
+(``x_local`` of shape ``(count, k)``), in which case all ``k`` matrix-vector
+products are computed in one pass.  The expensive, x-independent work —
+matrix-element generation, the destination partition, and the consumer-side
+ranking — runs once per chunk regardless of ``k``; only the gather-multiply
+and the scatter-add scale with the block width.  On the simulated wire the
+destination states (betas) travel once per element while the ``k`` amplitude
+columns share them, so block traffic pays :func:`wire_bytes` per element
+instead of ``k`` full element payloads.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.distributed.convert import counting_sort_order
 from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.hashing import locale_of
 from repro.distributed.vector import DistributedVector
@@ -32,11 +44,47 @@ __all__ = [
     "result_dtype",
     "payload_checksum",
     "corrupted_copy",
+    "wire_bytes",
+    "extra_column_time",
     "ELEMENT_BYTES",
 ]
 
-#: Wire size of one (basis state, amplitude) pair: uint64 + float64.
-ELEMENT_BYTES = 16
+#: Wire size of the per-element key: the uint64 destination basis state.
+BETA_BYTES = 8
+
+#: Wire size of one float64 amplitude (one column's contribution).
+AMPLITUDE_BYTES = 8
+
+#: Wire size of one single-vector (basis state, amplitude) pair —
+#: ``wire_bytes(1, 1)``.  Kept for the closed-form models and external
+#: consumers; new code should call :func:`wire_bytes`.
+ELEMENT_BYTES = BETA_BYTES + AMPLITUDE_BYTES
+
+
+def wire_bytes(n_elements: int, k: int = 1) -> int:
+    """Simulated wire size of ``n_elements`` matrix elements for ``k`` columns.
+
+    Each element ships its uint64 destination state once plus one float64
+    amplitude per block column: ``n * (8 + 8 k)`` bytes.  ``k = 1``
+    reproduces the classic 16-byte pair (:data:`ELEMENT_BYTES`); wider
+    blocks amortize the key bytes, which is the bandwidth half of the block
+    matvec's advantage (the other half is skipping ``getManyRows``).
+    """
+    return int(n_elements) * (BETA_BYTES + AMPLITUDE_BYTES * int(k))
+
+
+def extra_column_time(machine, n_elements: int, k: int) -> float:
+    """Simulated compute time the extra ``k - 1`` block columns add.
+
+    Generation, partition, and the binary search run once per chunk no
+    matter how wide the block is; each *additional* column only pays a
+    streaming gather-multiply on the producer or scatter-add on the
+    consumer, charged at the machine's axpy rate.  Zero for ``k = 1``, so
+    single-vector simulated timings are unchanged.
+    """
+    if k <= 1:
+        return 0.0
+    return machine.compute_time(machine.t_axpy * (k - 1), int(n_elements))
 
 
 def payload_checksum(betas: np.ndarray, values: np.ndarray) -> int:
@@ -44,7 +92,9 @@ def payload_checksum(betas: np.ndarray, values: np.ndarray) -> int:
 
     This is what the resilient protocol stamps on every
     ``RemoteBuffer`` handoff; the consumer recomputes it over the wire
-    payload and discards (without acknowledging) on mismatch.
+    payload and discards (without acknowledging) on mismatch.  ``values``
+    may carry one column or a ``(n, k)`` panel — the checksum covers
+    whatever travels.
     """
     crc = zlib.crc32(betas.tobytes())
     return zlib.crc32(values.tobytes(), crc) & 0xFFFFFFFF
@@ -63,14 +113,31 @@ def corrupted_copy(values: np.ndarray) -> np.ndarray:
     return wire
 
 
+def _scaled_gather(
+    amplitudes: np.ndarray, x_local: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """``amplitudes * x_local[rows]`` for single-column or block ``x_local``.
+
+    The fused warm-replay kernel: one gather of the source amplitudes and
+    one broadcast multiply, yielding ``(n,)`` values for a ``(count,)``
+    input and an ``(n, k)`` panel for a ``(count, k)`` block.
+    """
+    gathered = x_local[rows]
+    if gathered.ndim == 2:
+        return amplitudes[:, None] * gathered
+    return amplitudes * gathered
+
+
 @dataclass
 class ProducedChunk:
     """Output of the producer kernel for one chunk of source states.
 
     ``betas`` / ``values`` are partitioned by destination locale:
     destination ``d`` owns the slice ``[starts[d] : starts[d+1])``.
-    ``n_emitted`` counts raw off-diagonal elements before symmetry
-    filtering (the quantity that costs ``t_generate`` each).
+    ``values`` has shape ``(n,)`` for a single input vector and ``(n, k)``
+    for a ``k``-column block (all columns share the betas and the
+    partition).  ``n_emitted`` counts raw off-diagonal elements before
+    symmetry filtering (the quantity that costs ``t_generate`` each).
 
     When produced under a :class:`~repro.operators.plan.MatvecPlan`, the
     chunk additionally carries the destination-sorted ``sources`` offsets
@@ -103,8 +170,16 @@ class ProducedChunk:
         return int(self.starts[dest + 1] - self.starts[dest])
 
     def replay(self, start: int, x_local: np.ndarray) -> "ProducedChunk":
-        """Refresh :attr:`values` for a new input vector (plan cache hit)."""
-        self.values = self.amplitudes * x_local[start + self.sources]
+        """Refresh :attr:`values` for a new input vector (plan cache hit).
+
+        Works for any block width: a chunk recorded under a single-column
+        matvec replays against a ``(count, k)`` block (and vice versa), and
+        the result dtype follows NumPy promotion of the cached amplitudes
+        with the new input.
+        """
+        self.values = _scaled_gather(
+            self.amplitudes, x_local, start + self.sources
+        )
         return self
 
 
@@ -122,7 +197,9 @@ def produce_chunk(
     Emits the destination basis states and the contributions
     ``H[beta, alpha] * x[alpha]`` (the producer multiplies by the source
     amplitude, as in the paper's listing), already partitioned by
-    destination locale.
+    destination locale with the linear-time counting-sort scatter.
+    ``x_local`` may carry ``k`` columns; the generation and the partition
+    run once and all ``k`` value columns ride the same layout.
 
     With a ``plan`` (:class:`~repro.operators.plan.MatvecPlan`), the
     x-independent pieces are cached under ``(locale, start)`` on first
@@ -140,13 +217,14 @@ def produce_chunk(
     sources, members, amplitudes = get_many_rows(
         op, basis.template, states, scale
     )
-    values = amplitudes * x_local[start + sources]
     dests = locale_of(members, basis.n_locales)
-    order = np.argsort(dests, kind="stable")
+    order, starts = counting_sort_order(dests, basis.n_locales)
     betas_sorted = members[order]
-    values_sorted = values[order]
-    counts = np.bincount(dests, minlength=basis.n_locales).astype(np.int64)
-    starts = np.concatenate([[0], np.cumsum(counts)])
+    amplitudes_sorted = amplitudes[order]
+    sources_sorted = sources[order]
+    values_sorted = _scaled_gather(
+        amplitudes_sorted, x_local, start + sources_sorted
+    )
     chunk = ProducedChunk(
         betas=betas_sorted,
         values=values_sorted,
@@ -154,8 +232,8 @@ def produce_chunk(
         n_emitted=int(sources.size),
     )
     if plan is not None:
-        chunk.sources = sources[order]
-        chunk.amplitudes = amplitudes[order]
+        chunk.sources = sources_sorted
+        chunk.amplitudes = amplitudes_sorted
         chunk.rows = np.full(betas_sorted.size, -1, dtype=np.int64)
         plan.put((locale, start), chunk)
     return chunk
@@ -173,7 +251,9 @@ def consume(
 
     ``rows``, when given, is the chunk's cached search-result slice for this
     destination: filled (and reused on replays) so the binary search runs
-    once per chunk per Krylov solve instead of once per matvec.
+    once per chunk per Krylov solve instead of once per matvec.  ``values``
+    may be one column or an ``(n, k)`` panel — the ranked indices are
+    shared and the scatter-add covers all columns at once.
     """
     if betas.size == 0:
         return
@@ -205,6 +285,8 @@ def apply_diagonal(
         diag = op.diagonal_values(states)
         if y.dtype.kind != "c":
             diag = diag.real
+        if x.parts[locale].ndim == 2:
+            diag = diag[:, None]
         y.parts[locale] += diag * x.parts[locale]
         total += states.size
     return total
@@ -216,9 +298,16 @@ def check_vectors(
     if x.basis is not basis:
         raise DistributionError("input vector belongs to a different basis")
     if y is None:
-        y = DistributedVector.zeros(basis, dtype=result_dtype(basis, x))
+        y = DistributedVector.zeros(
+            basis, dtype=result_dtype(basis, x), columns=x.columns
+        )
     elif y.basis is not basis:
         raise DistributionError("output vector belongs to a different basis")
+    elif y.columns != x.columns:
+        raise DistributionError(
+            f"output vector has {y.n_columns} column(s), input has "
+            f"{x.n_columns}"
+        )
     else:
         y.fill(0)
     return y

@@ -15,11 +15,12 @@ import numpy as np
 
 from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.matvec_common import (
-    ELEMENT_BYTES,
     apply_diagonal,
     check_vectors,
-    produce_chunk,
     consume,
+    extra_column_time,
+    produce_chunk,
+    wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
 from repro.errors import FaultError
@@ -60,10 +61,13 @@ def matvec_naive(
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
     n = basis.n_locales
+    k = x.n_columns
+    element_bytes = wire_bytes(1, k)
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
     tele = current_telemetry()
     metrics = tele.metrics
+    metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
 
     resilient = faults is not None or resilience is not None
@@ -79,7 +83,9 @@ def matvec_naive(
         ledger.add(
             "diagonal",
             locale,
-            machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
+            machine.compute_time(
+                machine.t_axpy, int(basis.counts[locale]) * k
+            ),
         )
 
     net = machine.network
@@ -96,7 +102,7 @@ def matvec_naive(
             )
             generate_time[locale] += machine.compute_time(
                 machine.t_generate, chunk.n_emitted
-            )
+            ) + extra_column_time(machine, chunk.betas.size, k)
             for dest in range(n):
                 betas, values = chunk.slice_for(dest)
                 if betas.size == 0:
@@ -109,16 +115,16 @@ def matvec_naive(
                 incoming_elements[dest] += betas.size
                 pair_elements[locale, dest] += betas.size
                 report.messages += betas.size
-                report.bytes_sent += betas.size * ELEMENT_BYTES
+                report.bytes_sent += wire_bytes(betas.size, k)
                 metrics.counter(
                     "matvec.messages", src=locale, dst=dest
                 ).inc(betas.size)
                 metrics.counter(
                     "matvec.bytes", src=locale, dst=dest
-                ).inc(betas.size * ELEMENT_BYTES)
+                ).inc(wire_bytes(betas.size, k))
                 if resilient and resilience.checksums:
                     crc = machine.compute_time(
-                        machine.checksum_time(ELEMENT_BYTES), betas.size
+                        machine.checksum_time(element_bytes), betas.size
                     )
                     extra_compute[locale] += crc
                     extra_compute[dest] += crc
@@ -129,11 +135,11 @@ def matvec_naive(
                         # Lost/rejected elements wait out one (overlapped)
                         # detection timeout, then retransmit through the NIC.
                         retry_wait[locale] += resilience.ack_timeout
-                        penalty = retrans * net.transfer_time(ELEMENT_BYTES)
+                        penalty = retrans * net.transfer_time(element_bytes)
                         extra_nic[locale] += penalty
                         extra_nic[dest] += penalty
                         report.messages += retrans
-                        report.bytes_sent += retrans * ELEMENT_BYTES
+                        report.bytes_sent += wire_bytes(retrans, k)
                         metrics.counter(
                             "recovery.retransmits", src=locale, dst=dest
                         ).inc(retrans)
@@ -160,12 +166,12 @@ def matvec_naive(
     trace_end = 0.0
     for locale in range(n):
         slow = faults.slowdown(locale) if faults is not None else 1.0
-        nic_in = incoming_elements[locale] * net.transfer_time(ELEMENT_BYTES)
+        nic_in = incoming_elements[locale] * net.transfer_time(element_bytes)
         task_time = machine.compute_time(
             machine.task_spawn_overhead + machine.t_search_accum,
             int(incoming_elements[locale]),
-        )
-        nic_out = outgoing_elements[locale] * net.transfer_time(ELEMENT_BYTES)
+        ) + extra_column_time(machine, int(incoming_elements[locale]), k)
+        nic_out = outgoing_elements[locale] * net.transfer_time(element_bytes)
         compute = (generate_time[locale] + extra_compute[locale]) * slow
         straggler_extra = (
             (generate_time[locale] + extra_compute[locale] + task_time)
@@ -203,7 +209,7 @@ def matvec_naive(
                 duration = (
                     0.0
                     if dest == locale
-                    else elements * net.transfer_time(ELEMENT_BYTES)
+                    else elements * net.transfer_time(element_bytes)
                 )
                 trace.complete(
                     (process, "net"),
@@ -213,7 +219,7 @@ def matvec_naive(
                     {
                         "src": locale,
                         "dst": dest,
-                        "bytes": elements * ELEMENT_BYTES,
+                        "bytes": wire_bytes(elements, k),
                         "msgs": elements,
                     },
                 )
@@ -229,6 +235,8 @@ def matvec_naive(
         trace.advance(max(report.elapsed, trace_end))
     report.extras["n_diag"] = float(n_diag)
     report.extras["elements"] = float(outgoing_elements.sum())
+    report.extras["block_width"] = float(k)
+    report.extras["seconds_per_column"] = report.elapsed / k
     if resilient:
         report.extras["resilient"] = 1.0
     if crashes:

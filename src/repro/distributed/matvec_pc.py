@@ -50,13 +50,13 @@ import numpy as np
 
 from repro.distributed.dist_basis import DistributedBasis
 from repro.distributed.matvec_common import (
-    ELEMENT_BYTES,
     apply_diagonal,
     check_vectors,
     consume,
     corrupted_copy,
     payload_checksum,
     produce_chunk,
+    wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
 from repro.errors import FaultError
@@ -86,7 +86,9 @@ class RemoteBuffer:
 
     ``rows`` piggybacks the plan's consumer-side ``stateToIndex`` cache
     slice (or ``None`` without a plan) — it is not part of the simulated
-    wire payload, which stays at 16 bytes per element.
+    wire payload, which is :func:`~repro.distributed.matvec_common.wire_bytes`
+    per element (16 bytes for a single vector; the betas travel once and
+    block columns add 8 bytes each).
     """
 
     __slots__ = ("src", "dest", "is_full_local", "betas", "values", "rows")
@@ -140,10 +142,12 @@ def matvec_producer_consumer(
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
     n = basis.n_locales
+    k = x.n_columns
     ledger = CostLedger(n)
     report = SimReport(ledger=ledger)
     tele = current_telemetry()
     metrics = tele.metrics
+    metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
 
     resilient = faults is not None or resilience is not None
@@ -208,6 +212,10 @@ def matvec_producer_consumer(
     t_generate = machine.t_generate * sim_prod / n_prod
     t_partition = (machine.t_partition + machine.t_hash) * sim_prod / n_prod
     t_search = machine.t_search_accum * sim_cons / n_cons
+    # Extra block columns only pay streaming gather/scatter work, not
+    # generation, partition, or the binary search (zero for k = 1).
+    t_cols_prod = machine.t_axpy * (k - 1) * sim_prod / n_prod
+    t_cols_cons = machine.t_axpy * (k - 1) * sim_cons / n_cons
 
     net = machine.network
     sim = Simulator(trace=trace)
@@ -238,7 +246,7 @@ def matvec_producer_consumer(
             if rb is _SENTINEL:
                 break
             betas, values, rows = rb.betas, rb.values, rb.rows
-            dt = t_search * betas.size
+            dt = (t_search + t_cols_cons) * betas.size
             busy += dt
             yield Timeout(dt, "search+accum")
             consume(basis, locale, y.parts[locale], betas, values, rows)
@@ -267,7 +275,10 @@ def matvec_producer_consumer(
             chunk = produce_chunk(
                 op, basis, locale, start, stop, x.parts[locale], plan
             )
-            dt = t_generate * chunk.n_emitted + t_partition * chunk.betas.size
+            dt = (
+                t_generate * chunk.n_emitted
+                + (t_partition + t_cols_prod) * chunk.betas.size
+            )
             gen_busy += dt
             metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
             yield Timeout(dt, "generate")
@@ -297,7 +308,7 @@ def matvec_producer_consumer(
                     rb.betas = betas
                     rb.values = values
                     rb.rows = rows
-                    nbytes = betas.size * ELEMENT_BYTES
+                    nbytes = wire_bytes(betas.size, k)
                     report.messages += 1
                     report.bytes_sent += nbytes
                     metrics.counter(
@@ -370,7 +381,7 @@ def matvec_producer_consumer(
     # Diagonal: local streaming work, overlapped here as a separate phase.
     n_diag = apply_diagonal(op, basis, x, y)
     diag_elapsed = max(
-        machine.compute_time(machine.t_axpy, int(c)) for c in basis.counts
+        machine.compute_time(machine.t_axpy, int(c) * k) for c in basis.counts
     )
     if trace is not None:
         for locale in range(n):
@@ -378,7 +389,9 @@ def matvec_producer_consumer(
                 (f"locale{locale}", "diagonal"),
                 "diagonal",
                 elapsed,
-                machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
+                machine.compute_time(
+                    machine.t_axpy, int(basis.counts[locale]) * k
+                ),
             )
         trace.advance(elapsed + diag_elapsed)
     report.elapsed = elapsed + diag_elapsed
@@ -388,6 +401,8 @@ def matvec_producer_consumer(
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
+    report.extras["block_width"] = float(k)
+    report.extras["seconds_per_column"] = report.elapsed / k
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report
@@ -450,6 +465,8 @@ def _resilient_pipeline(
     """The self-healing producer-consumer pipeline (see module docstring)."""
     machine = basis.cluster.machine
     n = basis.n_locales
+    k = x.n_columns
+    metrics.gauge("matvec.block_width").set(float(k))
     cores = machine.cores_per_locale
     if producers_per_locale is None or consumers_per_locale is None:
         n_prod, n_cons = split_cores(cores, consumer_fraction)
@@ -461,6 +478,8 @@ def _resilient_pipeline(
     t_generate = machine.t_generate * sim_prod / n_prod
     t_partition = (machine.t_partition + machine.t_hash) * sim_prod / n_prod
     t_search = machine.t_search_accum * sim_cons / n_cons
+    t_cols_prod = machine.t_axpy * (k - 1) * sim_prod / n_prod
+    t_cols_cons = machine.t_axpy * (k - 1) * sim_cons / n_cons
     # Representative-worker scaling applies to the checksum kernel too.
     crc_prod_scale = sim_prod / n_prod
     crc_cons_scale = sim_cons / n_cons
@@ -496,7 +515,7 @@ def _resilient_pipeline(
             # overwrite them while this consumer is inside a Timeout.
             betas, values, rows = rb.betas, rb.values, rb.rows
             seq, expected_crc = rb.seq, rb.checksum
-            nbytes = betas.size * ELEMENT_BYTES
+            nbytes = wire_bytes(betas.size, k)
             if use_checksums:
                 dt = machine.checksum_time(nbytes) * crc_cons_scale
                 busy += dt * slow
@@ -516,7 +535,7 @@ def _resilient_pipeline(
                 # must see it as already consumed (the check-and-claim is
                 # atomic between yields in the discrete-event simulation).
                 rb.consumed_seq = seq
-                dt = t_search * betas.size
+                dt = (t_search + t_cols_cons) * betas.size
                 busy += dt * slow
                 yield Timeout(dt, "search+accum")
                 consume(basis, locale, y.parts[locale], betas, values, rows)
@@ -552,7 +571,7 @@ def _resilient_pipeline(
 
         def transmit(rb: ResilientBuffer, retransmit: bool = False):
             betas, values, rows = rb.payload
-            nbytes = betas.size * ELEMENT_BYTES
+            nbytes = wire_bytes(betas.size, k)
             wire_values = values
             fate = None
             if faults is not None and rb.dest != locale:
@@ -649,7 +668,10 @@ def _resilient_pipeline(
             chunk = produce_chunk(
                 op, basis, locale, start, stop, x.parts[locale], plan
             )
-            dt = t_generate * chunk.n_emitted + t_partition * chunk.betas.size
+            dt = (
+                t_generate * chunk.n_emitted
+                + (t_partition + t_cols_prod) * chunk.betas.size
+            )
             acct["generate"] += dt * slow
             metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
             yield Timeout(dt, "generate")
@@ -712,7 +734,7 @@ def _resilient_pipeline(
 
     n_diag = apply_diagonal(op, basis, x, y)
     diag_elapsed = max(
-        machine.compute_time(machine.t_axpy, int(c)) for c in basis.counts
+        machine.compute_time(machine.t_axpy, int(c) * k) for c in basis.counts
     )
     if trace is not None:
         for locale in range(n):
@@ -720,7 +742,9 @@ def _resilient_pipeline(
                 (f"locale{locale}", "diagonal"),
                 "diagonal",
                 elapsed,
-                machine.compute_time(machine.t_axpy, int(basis.counts[locale])),
+                machine.compute_time(
+                    machine.t_axpy, int(basis.counts[locale]) * k
+                ),
             )
         trace.advance(elapsed + diag_elapsed)
     report.elapsed = elapsed + diag_elapsed
@@ -730,6 +754,8 @@ def _resilient_pipeline(
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
+    report.extras["block_width"] = float(k)
+    report.extras["seconds_per_column"] = report.elapsed / k
     report.extras["resilient"] = 1.0
     if metrics.enabled:
         report.metrics = metrics.snapshot()
@@ -747,8 +773,10 @@ def _shared_memory_matvec(
 ) -> tuple[DistributedVector, SimReport]:
     """Single-locale mode: all cores generate and consume (no pipeline)."""
     machine = basis.cluster.machine
+    k = x.n_columns
     tele = current_telemetry()
     metrics = tele.metrics
+    metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
     apply_diagonal(op, basis, x, y)
     count = int(basis.counts[0])
@@ -761,9 +789,11 @@ def _shared_memory_matvec(
         consume(basis, 0, y.parts[0], betas, values, chunk.rows_for(0))
         metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
         gen_work += machine.t_generate * chunk.n_emitted
-        search_work += machine.t_search_accum * chunk.betas.size
+        search_work += (
+            machine.t_search_accum + machine.t_axpy * (k - 1)
+        ) * chunk.betas.size
     cores = machine.cores_per_locale
-    diag_work = machine.t_axpy * count
+    diag_work = machine.t_axpy * count * k
     elapsed = (gen_work + search_work + diag_work) / cores
     report.elapsed = elapsed
     report.merge_phase("generate", gen_work / cores)
@@ -773,6 +803,8 @@ def _shared_memory_matvec(
     report.ledger.add("search+accum", 0, search_work)
     report.extras["producers"] = float(cores)
     report.extras["consumers"] = float(cores)
+    report.extras["block_width"] = float(k)
+    report.extras["seconds_per_column"] = elapsed / k
     if trace is not None:
         # Sequential shared-memory phases on one worker track; the offset
         # still advances by the full elapsed time so successive operations

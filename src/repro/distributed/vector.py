@@ -22,18 +22,29 @@ __all__ = ["DistributedVector", "DistributedVectorSpace"]
 
 
 class DistributedVector:
-    """A vector distributed like its basis (hashed distribution)."""
+    """A vector — or a ``k``-column block of vectors — distributed like its
+    basis (hashed distribution).
+
+    A single vector stores 1-D parts of shape ``(count,)``; a block stores
+    2-D parts of shape ``(count, k)`` with every locale agreeing on ``k``.
+    All kernels treat the two forms uniformly (the column axis simply rides
+    along the hashed element axis), which is what lets the block matvec
+    amortize generation/partition/ranking across columns.
+    """
 
     def __init__(self, basis: DistributedBasis, parts: list[np.ndarray]) -> None:
         if len(parts) != basis.n_locales:
             raise DistributionError(
                 f"expected {basis.n_locales} parts, got {len(parts)}"
             )
+        columns = None if not parts or parts[0].ndim == 1 else parts[0].shape[1]
         for locale, part in enumerate(parts):
-            if part.shape != (int(basis.counts[locale]),):
+            count = int(basis.counts[locale])
+            expected = (count,) if columns is None else (count, columns)
+            if part.shape != expected:
                 raise DistributionError(
                     f"part {locale} has shape {part.shape}, expected "
-                    f"({int(basis.counts[locale])},)"
+                    f"{expected}"
                 )
         self.basis = basis
         self.parts = parts
@@ -41,23 +52,35 @@ class DistributedVector:
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def zeros(cls, basis: DistributedBasis, dtype=None) -> "DistributedVector":
+    def zeros(
+        cls, basis: DistributedBasis, dtype=None, columns: int | None = None
+    ) -> "DistributedVector":
+        """An all-zero vector, or an all-zero ``columns``-wide block."""
         dtype = basis.scalar_dtype if dtype is None else dtype
+        shape = (lambda c: (c,)) if columns is None else (lambda c: (c, columns))
         return cls(
-            basis, [np.zeros(int(c), dtype=dtype) for c in basis.counts]
+            basis,
+            [np.zeros(shape(int(c)), dtype=dtype) for c in basis.counts],
         )
 
     @classmethod
     def full_random(
-        cls, basis: DistributedBasis, seed: int = 0, dtype=None
+        cls,
+        basis: DistributedBasis,
+        seed: int = 0,
+        dtype=None,
+        columns: int | None = None,
     ) -> "DistributedVector":
         dtype = basis.scalar_dtype if dtype is None else np.dtype(dtype)
         rng = np.random.default_rng(seed)
         parts = []
         for count in basis.counts:
-            values = rng.standard_normal(int(count))
+            shape = (
+                (int(count),) if columns is None else (int(count), columns)
+            )
+            values = rng.standard_normal(shape)
             if dtype.kind == "c":
-                values = values + 1j * rng.standard_normal(int(count))
+                values = values + 1j * rng.standard_normal(shape)
             parts.append(values.astype(dtype))
         return cls(basis, parts)
 
@@ -68,9 +91,9 @@ class DistributedVector:
         serial_basis: Basis,
         vector: np.ndarray,
     ) -> "DistributedVector":
-        """Scatter a serial vector (indexed by ``serial_basis``)."""
+        """Scatter a serial ``(dim,)`` vector or ``(dim, k)`` block."""
         vector = np.asarray(vector)
-        if vector.shape != (serial_basis.dim,):
+        if vector.shape[0] != serial_basis.dim or vector.ndim > 2:
             raise DistributionError("vector length does not match the basis")
         parts = []
         for part_states in basis.parts:
@@ -79,8 +102,13 @@ class DistributedVector:
         return cls(basis, parts)
 
     def to_serial(self, serial_basis: Basis) -> np.ndarray:
-        """Gather into a serial vector indexed by ``serial_basis``."""
-        out = np.zeros(serial_basis.dim, dtype=self.dtype)
+        """Gather into a serial vector/block indexed by ``serial_basis``."""
+        shape = (
+            (serial_basis.dim,)
+            if self.columns is None
+            else (serial_basis.dim, self.columns)
+        )
+        out = np.zeros(shape, dtype=self.dtype)
         for part_states, part_values in zip(self.basis.parts, self.parts):
             idx = serial_basis.index(part_states)
             out[idx] = part_values
@@ -95,6 +123,19 @@ class DistributedVector:
     @property
     def dim(self) -> int:
         return self.basis.dim
+
+    @property
+    def columns(self) -> int | None:
+        """Block width, or ``None`` for a plain (1-D) vector."""
+        if not self.parts or self.parts[0].ndim == 1:
+            return None
+        return int(self.parts[0].shape[1])
+
+    @property
+    def n_columns(self) -> int:
+        """Number of vectors carried: 1 for a plain vector, ``k`` for a block."""
+        columns = self.columns
+        return 1 if columns is None else columns
 
     def copy(self) -> "DistributedVector":
         return DistributedVector(self.basis, [p.copy() for p in self.parts])
@@ -169,11 +210,13 @@ class DistributedVectorSpace:
         return x.copy()
 
     def zeros_like(self, x: DistributedVector) -> DistributedVector:
-        return DistributedVector.zeros(x.basis, dtype=x.dtype)
+        return DistributedVector.zeros(
+            x.basis, dtype=x.dtype, columns=x.columns
+        )
 
     def random(self, like: DistributedVector, seed: int) -> DistributedVector:
         return DistributedVector.full_random(
-            like.basis, seed=seed, dtype=like.dtype
+            like.basis, seed=seed, dtype=like.dtype, columns=like.columns
         )
 
     # -- checkpoint hooks (per-locale chunked IO; see repro.io.vectors) -----

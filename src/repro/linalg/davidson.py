@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CheckpointError, ConvergenceError
-from repro.linalg.spaces import as_matvec
+from repro.linalg.spaces import apply_block, as_matvec
 from repro.resilience.checkpoint import (
     list_checkpoints,
     load_latest_checkpoint,
@@ -135,7 +135,7 @@ def davidson(
                     "starting block must have at least k columns"
                 )
         v = _orthonormalize(v0, None)
-        w = np.stack([matvec(v[:, j]) for j in range(v.shape[1])], axis=1)
+        w = apply_block(matvec, v)
 
     theta = np.zeros(k)
     ritz = v[:, :k]
@@ -169,7 +169,7 @@ def davidson(
         if v.shape[1] + k > max_subspace:
             # Restart: keep the current Ritz block.
             v = _orthonormalize(ritz, None)
-            w = np.stack([matvec(v[:, j]) for j in range(v.shape[1])], axis=1)
+            w = apply_block(matvec, v)
         new = _orthonormalize(corrections, v)
         if new.shape[1] == 0:
             # Stagnation: inject a random direction.
@@ -177,9 +177,7 @@ def davidson(
             new = _orthonormalize(rand, v)
             if new.shape[1] == 0:
                 break
-        new_w = np.stack(
-            [matvec(new[:, j]) for j in range(new.shape[1])], axis=1
-        )
+        new_w = apply_block(matvec, new)
         v = np.concatenate([v, new], axis=1)
         w = np.concatenate([w, new_w], axis=1)
         if checkpoint_dir is not None and iteration % checkpoint_every == 0:

@@ -16,7 +16,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-__all__ = ["VectorSpace", "NumpyVectorSpace", "as_matvec"]
+__all__ = ["VectorSpace", "NumpyVectorSpace", "as_matvec", "apply_block"]
 
 
 def as_matvec(operator_or_matvec):
@@ -39,6 +39,31 @@ def as_matvec(operator_or_matvec):
             f"{type(operator_or_matvec).__name__}"
         )
     return operator_or_matvec
+
+
+def apply_block(matvec, block: np.ndarray) -> np.ndarray:
+    """Apply ``matvec`` to every column of a ``(dim, m)`` block at once.
+
+    Tries the block (multi-RHS) call first — ``Operator.matvec`` and the
+    distributed variants compute all columns in one pass, amortizing
+    matrix-element generation, partition, and ranking — and falls back to
+    column-by-column application for callables that only understand 1-D
+    vectors.  The result always has shape ``(dim, m)``.
+    """
+    block = np.asarray(block)
+    if block.ndim != 2:
+        raise ValueError(f"expected a (dim, m) block, got shape {block.shape}")
+    if block.shape[1] == 0:
+        return block.copy()
+    try:
+        out = np.asarray(matvec(block))
+        if out.shape == block.shape:
+            return out
+    except (ValueError, TypeError, IndexError):
+        pass
+    return np.stack(
+        [matvec(block[:, j]) for j in range(block.shape[1])], axis=1
+    )
 
 
 @runtime_checkable

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.linalg import eigh_tridiagonal
 
-from repro.linalg.spaces import NumpyVectorSpace, VectorSpace
+from repro.linalg.spaces import NumpyVectorSpace, VectorSpace, as_matvec
 
 __all__ = ["SpectralFunction", "spectral_function"]
 
@@ -84,6 +84,7 @@ def spectral_function(
     weight_cutoff:
         Poles with smaller strength are dropped.
     """
+    matvec = as_matvec(matvec)
     if space is None:
         space = NumpyVectorSpace()
     norm = space.norm(seed)

@@ -5,6 +5,11 @@ with the basis projection (representative / character / norm), yielding
 exactly what the paper's matrix-vector product consumes: for a batch of
 source representatives, the destination *basis members* and the final
 matrix elements.
+
+Everything returned here is independent of the input vector — which is
+what lets :class:`~repro.operators.plan.MatvecPlan` cache the output and
+the block matvec share one ``get_many_rows`` call across all ``k`` columns
+of a multi-RHS input.
 """
 
 from __future__ import annotations

@@ -7,7 +7,11 @@ destination states, the matrix-element amplitudes, the symmetry projection,
 and the ``stateToIndex`` binary searches — is therefore iteration-invariant.
 :class:`MatvecPlan` caches those triples the first time a chunk is
 processed and replays them on every subsequent matvec, reducing the hot
-loop to a gather, a multiply, and a scatter-add.
+loop to a gather, a multiply, and a scatter-add.  Replays are width- and
+dtype-agnostic: a chunk recorded under a real single-vector matvec replays
+against a complex input or a ``(dim, k)`` block unchanged (the cached
+amplitudes broadcast across columns and NumPy promotion sets the output
+dtype), so one plan serves an entire mixed single/block Krylov workload.
 
 The cache is memory-bounded: entries are accounted in bytes and evicted in
 least-recently-used order once the budget (by default

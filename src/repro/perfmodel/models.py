@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.distributed.matvec_common import ELEMENT_BYTES
+from repro.distributed.matvec_common import wire_bytes
 from repro.distributed.matvec_pc import DEFAULT_CONSUMER_FRACTION, split_cores
 from repro.perfmodel.workloads import ChainWorkload
 from repro.runtime.machine import MachineModel
@@ -52,13 +52,21 @@ class MatvecScalingModel:
     batch_size: int = 4096
     consumer_fraction: float = DEFAULT_CONSUMER_FRACTION
     pipeline_coupling: float = 0.25
+    #: Number of right-hand sides advanced per matvec.  Generation,
+    #: partition, and the binary search are paid once regardless; extra
+    #: columns add streaming axpy work and 8 bytes/element/column on the
+    #: wire (see :func:`repro.distributed.matvec_common.wire_bytes`).
+    block_width: int = 1
 
     def single_node_time(self) -> float:
         """Shared-memory mode: every core generates and consumes."""
         m = self.machine
         w = self.workload
-        work = w.total_elements * (m.t_generate + m.t_search_accum)
-        work += w.dimension * m.t_axpy
+        k = self.block_width
+        work = w.total_elements * (
+            m.t_generate + m.t_search_accum + m.t_axpy * (k - 1)
+        )
+        work += w.dimension * m.t_axpy * k
         return work / m.cores_per_locale
 
     def _per_locale_elements(self, n_locales: int) -> float:
@@ -67,18 +75,21 @@ class MatvecScalingModel:
     def message_bytes(self, n_locales: int) -> float:
         """Mean remote-put payload: one chunk's elements for one locale."""
         per_chunk = self.batch_size * self.workload.offdiag_per_row
-        return per_chunk / n_locales * ELEMENT_BYTES
+        return per_chunk / n_locales * wire_bytes(1, self.block_width)
 
     def pipeline_time(self, n_locales: int, work_stealing: bool = False) -> float:
         if n_locales == 1:
             return self.single_node_time()
         m = self.machine
+        k = self.block_width
         elements = self._per_locale_elements(n_locales)
         producers, consumers = split_cores(
             m.cores_per_locale, self.consumer_fraction
         )
-        t_generate = elements * (m.t_generate + m.t_partition + m.t_hash)
-        t_consume = elements * m.t_search_accum
+        t_generate = elements * (
+            m.t_generate + m.t_partition + m.t_hash + m.t_axpy * (k - 1)
+        )
+        t_consume = elements * (m.t_search_accum + m.t_axpy * (k - 1))
         if work_stealing:
             # All cores drain the union of both work pools.
             t_compute = (t_generate + t_consume) / m.cores_per_locale
@@ -86,15 +97,26 @@ class MatvecScalingModel:
         else:
             stage_times = [t_generate / producers, t_consume / consumers]
         remote_fraction = (n_locales - 1) / n_locales
-        out_bytes = elements * ELEMENT_BYTES * remote_fraction
+        out_bytes = elements * wire_bytes(1, k) * remote_fraction
         t_nic = m.network.bulk_time(out_bytes, self.message_bytes(n_locales))
         stage_times.append(t_nic)
         stage_times.sort(reverse=True)
         elapsed = stage_times[0]
         if len(stage_times) > 1:
             elapsed += self.pipeline_coupling * stage_times[1]
-        elapsed += self.workload.dimension / n_locales * m.t_axpy / m.cores_per_locale
+        elapsed += (
+            self.workload.dimension / n_locales * m.t_axpy * k
+            / m.cores_per_locale
+        )
         return elapsed
+
+    def per_column_time(
+        self, n_locales: int, work_stealing: bool = False
+    ) -> float:
+        """Elapsed time per right-hand side — the block-amortization curve:
+        strictly decreasing in :attr:`block_width` because the x-independent
+        work is shared by all columns."""
+        return self.pipeline_time(n_locales, work_stealing) / self.block_width
 
     def speedup(self, n_locales: int, baseline_locales: int = 1,
                 work_stealing: bool = False) -> float:
@@ -138,12 +160,12 @@ class SpinpackModel:
 
         if n_locales == 1:
             # Intra-node exchange at memcpy speed.
-            t_comm = m.memcpy_time(elements * ELEMENT_BYTES)
+            t_comm = m.memcpy_time(elements * wire_bytes(1))
             return t_generate + t_comm + t_accumulate + t_diag
 
         # Alltoallv per round: every rank sends to every other rank.
         n_rounds = max(rows / (self.batch_size * rpl), 1.0)
-        per_round_bytes = elements * ELEMENT_BYTES / n_rounds
+        per_round_bytes = elements * wire_bytes(1) / n_rounds
         remote_fraction = (n_locales - 1) / n_locales
         out_bytes = per_round_bytes * remote_fraction
         total_ranks = n_locales * rpl
