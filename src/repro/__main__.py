@@ -9,7 +9,18 @@ Observability flags (see ``docs/OBSERVABILITY.md``):
 - ``--trace PATH`` — export a Perfetto-compatible Chrome trace of the
   simulated run (one track per locale/worker);
 - ``--metrics PATH`` — export the metrics snapshot (bytes per locale
-  pair, stall/batch distributions, Lanczos residuals) as JSON.
+  pair, stall/batch distributions, Lanczos residuals) as JSON;
+- ``--metrics-export PATH`` — export the metrics (global and per-job
+  series) as OpenMetrics v1 text; with
+  ``--metrics-export-interval SECONDS`` the file is refreshed
+  periodically (atomic replace) while the run is live;
+- ``--log-json PATH`` — structured JSON-lines progress log (``-`` for
+  stderr), each record correlated with the active job and the
+  simulated-time offset;
+- ``--job ID`` / ``--tenant T`` / ``--workload W`` — run under a job
+  scope for cost attribution (defaults to the input file's stem); the
+  output JSON gains a ``job_costs`` ledger snapshot and the trace can
+  be aggregated per job with ``repro-inspect cost``.
 """
 
 from repro.config import main

@@ -68,6 +68,12 @@ _RULES: list[tuple[re.Pattern, GateClass]] = [
         re.compile(r"stall_fraction|imbalance"),
         GateClass("lower", True, 0.05, "balance"),
     ),
+    # peak memory: allocator- and version-dependent, soft-warn only.
+    # Must precede the volume rule — the keys end in _bytes too.
+    (
+        re.compile(r"(^|[._])peak_\w*bytes($|[._])"),
+        GateClass("lower", False, 0.20, "memory"),
+    ),
     (
         re.compile(r"(^|[._])(bytes|messages|msgs|dim|elements|states|hits|misses)($|[._\d])"),
         GateClass("exact", True, 1e-9, "volume"),

@@ -413,6 +413,45 @@ def main(argv: list[str] | None = None) -> None:
         help="resume the eigensolve from the newest checkpoint under the "
         "--checkpoint directory (bit-for-bit continuation)",
     )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append structured JSON-lines log records (correlated with "
+        "job ids and simulated time) to PATH; '-' for stderr",
+    )
+    parser.add_argument(
+        "--metrics-export",
+        metavar="PATH",
+        default=None,
+        help="write an OpenMetrics v1 text exposition of the metrics "
+        "registry (global and per-job series) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-export-interval",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="with --metrics-export: also rewrite PATH every SECONDS of "
+        "wall time while the run is in progress",
+    )
+    parser.add_argument(
+        "--job",
+        metavar="ID",
+        default=None,
+        help="job id to attribute this run's spans/metrics/costs to "
+        "(default: derived from the input file name)",
+    )
+    parser.add_argument(
+        "--tenant",
+        default="",
+        help="tenant tag recorded on the job (cost attribution)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="",
+        help="workload tag recorded on the job (cost attribution)",
+    )
     args = parser.parse_args(argv)
     spec = load_simulation(args.input)
     if args.faults is not None:
@@ -438,22 +477,81 @@ def main(argv: list[str] | None = None) -> None:
         section["resume"] = True
         spec.solver_options["checkpoint"] = section
 
-    if args.trace is None and args.metrics is None:
-        print(json.dumps(run_simulation(spec, seed=args.seed), indent=2))
+    from repro.telemetry import jobs as telemetry_jobs
+    from repro.telemetry import log as telemetry_log
+
+    if args.log_json is not None:
+        telemetry_log.configure(path=args.log_json, level="debug")
+    want_telemetry = (
+        args.trace is not None
+        or args.metrics is not None
+        or args.metrics_export is not None
+    )
+    if not want_telemetry:
+        telemetry_log.info("simulation.start", input=args.input)
+        output = run_simulation(spec, seed=args.seed)
+        telemetry_log.info("simulation.finish", input=args.input)
+        print(json.dumps(output, indent=2))
         return
 
+    job_id = args.job or Path(args.input).stem
     tele = telemetry.Telemetry.enabled(trace=args.trace is not None)
+    exporter = None
     with telemetry.use(tele):
-        output = run_simulation(spec, seed=args.seed)
+        if (
+            args.metrics_export is not None
+            and args.metrics_export_interval is not None
+        ):
+            from repro.telemetry.export import PeriodicExporter
+
+            exporter = PeriodicExporter(
+                tele.metrics,
+                args.metrics_export,
+                interval=args.metrics_export_interval,
+                jobs=tele.jobs,
+            ).start()
+        telemetry_log.info(
+            "simulation.start", input=args.input, job=job_id
+        )
+        try:
+            with telemetry_jobs.job(
+                job_id, tenant=args.tenant, workload=args.workload
+            ) as job_ctx:
+                output = run_simulation(spec, seed=args.seed)
+        finally:
+            if exporter is not None:
+                exporter.stop()
+        telemetry_log.info("simulation.finish", input=args.input)
     if args.trace is not None:
         tele.trace.save(args.trace)
-        print(f"trace written to {args.trace}", file=sys.stderr)
+        if telemetry_log.enabled():
+            telemetry_log.info("trace.written", path=args.trace)
+        else:
+            print(f"trace written to {args.trace}", file=sys.stderr)
     snapshot = tele.metrics.snapshot()
     if args.metrics is not None:
         Path(args.metrics).write_text(
             json.dumps(snapshot.to_json(), indent=2)
         )
-        print(snapshot.table(), file=sys.stderr)
+        if telemetry_log.enabled():
+            telemetry_log.info("metrics.written", path=args.metrics)
+        else:
+            print(snapshot.table(), file=sys.stderr)
+    if args.metrics_export is not None and exporter is None:
+        from repro.telemetry.export import write_openmetrics
+
+        write_openmetrics(args.metrics_export, snapshot, jobs=tele.jobs)
+        if telemetry_log.enabled():
+            telemetry_log.info(
+                "metrics.exported", path=args.metrics_export
+            )
+        else:
+            print(
+                f"OpenMetrics exposition written to {args.metrics_export}",
+                file=sys.stderr,
+            )
+    output["job_costs"] = {job_ctx.job_id: job_ctx.ledger.snapshot()}
+    telemetry_log.disable()
     print(json.dumps(output, indent=2))
 
 

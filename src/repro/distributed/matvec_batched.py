@@ -37,6 +37,7 @@ from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.telemetry.context import current as current_telemetry
+from repro.telemetry.jobs import attribute_report
 
 __all__ = ["matvec_batched"]
 
@@ -246,6 +247,8 @@ def matvec_batched(
                 f"locale {victim} crashed at t={at:.3g} before the batched "
                 f"matvec finished (t={report.elapsed:.3g})"
             )
+    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    attribute_report(report, "matvec.batched", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

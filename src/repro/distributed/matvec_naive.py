@@ -28,6 +28,7 @@ from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.telemetry.context import current as current_telemetry
+from repro.telemetry.jobs import attribute_report
 
 __all__ = ["matvec_naive"]
 
@@ -248,6 +249,8 @@ def matvec_naive(
                 f"locale {victim} crashed at t={at:.3g} before the naive "
                 f"matvec finished (t={report.elapsed:.3g})"
             )
+    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    attribute_report(report, "matvec.naive", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

@@ -65,6 +65,7 @@ from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.runtime.events import Pop, Simulator, Timeout, WaitFlag, Acquire
 from repro.telemetry.context import current as current_telemetry
+from repro.telemetry.jobs import attribute_report
 
 __all__ = ["matvec_producer_consumer", "split_cores"]
 
@@ -403,6 +404,8 @@ def matvec_producer_consumer(
     report.extras["consumers"] = float(n_cons)
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
+    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report
@@ -757,6 +760,8 @@ def _resilient_pipeline(
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
     report.extras["resilient"] = 1.0
+    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report
@@ -821,6 +826,8 @@ def _shared_memory_matvec(
                 trace.complete(track, name, t, work / cores)
                 t += work / cores
         trace.advance(elapsed)
+    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
     return y, report

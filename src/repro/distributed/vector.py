@@ -137,6 +137,12 @@ class DistributedVector:
         columns = self.columns
         return 1 if columns is None else columns
 
+    @property
+    def nbytes(self) -> int:
+        """Total buffer bytes across all locale-local parts (memory
+        accounting for the per-job cost ledger)."""
+        return sum(int(part.nbytes) for part in self.parts)
+
     def copy(self) -> "DistributedVector":
         return DistributedVector(self.basis, [p.copy() for p in self.parts])
 

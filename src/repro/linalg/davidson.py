@@ -17,7 +17,8 @@ Rayleigh-Ritz block lives on one node even in distributed runs).
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,6 +29,7 @@ from repro.resilience.checkpoint import (
     load_latest_checkpoint,
     write_checkpoint,
 )
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["DavidsonResult", "davidson"]
 
@@ -39,6 +41,9 @@ class DavidsonResult:
     n_iterations: int
     residual_norms: np.ndarray
     converged: bool
+    #: Per-iteration progress series: dicts with ``iteration``,
+    #: ``residual``, ``ritz_min``, ``ritz_max``, ``elapsed`` seconds.
+    progress: list = field(repr=False, default_factory=list)
 
 
 def _orthonormalize(block: np.ndarray, against: np.ndarray | None) -> np.ndarray:
@@ -137,6 +142,11 @@ def davidson(
         v = _orthonormalize(v0, None)
         w = apply_block(matvec, v)
 
+    from repro.linalg.lanczos import _record_iteration
+
+    tele = current_telemetry()
+    t_start = time.perf_counter()
+    progress: list = []
     theta = np.zeros(k)
     ritz = v[:, :k]
     residual_norms = np.full(k, np.inf)
@@ -151,6 +161,15 @@ def davidson(
         h_ritz = w @ y
         residuals = h_ritz - ritz * theta
         residual_norms = np.linalg.norm(residuals, axis=0)
+        entry = {
+            "iteration": iteration,
+            "residual": float(residual_norms.max()),
+            "ritz_min": float(evals[0]),
+            "ritz_max": float(evals[-1]),
+            "elapsed": time.perf_counter() - t_start,
+        }
+        progress.append(entry)
+        _record_iteration(tele, entry, solver="davidson")
         scale = max(1.0, float(np.abs(theta).max()))
         if np.all(residual_norms <= tol * scale):
             return DavidsonResult(
@@ -159,6 +178,7 @@ def davidson(
                 n_iterations=iteration,
                 residual_norms=residual_norms,
                 converged=True,
+                progress=progress,
             )
         # Davidson correction with the diagonal preconditioner.
         corrections = np.empty_like(residuals)
@@ -209,4 +229,5 @@ def davidson(
         n_iterations=max_iter,
         residual_norms=residual_norms,
         converged=False,
+        progress=progress,
     )

@@ -19,7 +19,8 @@ eigenvectors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.linalg import eigh_tridiagonal
@@ -30,6 +31,8 @@ from repro.linalg.spaces import (
     apply_block,
     as_matvec,
 )
+from repro.telemetry import log as telemetry_log
+from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["ThermalEstimate", "ftlm_thermal"]
 
@@ -44,16 +47,22 @@ class ThermalEstimate:
     partition_function: np.ndarray
     n_samples: int
     krylov_dim: int
+    #: Per-sample progress series: dicts with ``sample``, ``residual``
+    #: (the factorization's final off-diagonal — the Lanczos truncation
+    #: residual), ``ritz_min``, ``ritz_max``, ``elapsed`` seconds.
+    progress: list = field(repr=False, default_factory=list)
 
 
 def _lanczos_spectrum(matvec, v0, krylov_dim: int, space: VectorSpace):
-    """Ritz values and first-row weights of one Lanczos factorization."""
+    """Ritz values, first-row weights, and the final off-diagonal (the
+    truncation residual) of one Lanczos factorization."""
     v = space.copy(v0)
     norm0 = space.norm(v)
     space.scale(1.0 / norm0, v)
     basis = [v]
     alphas: list[float] = []
     betas: list[float] = []
+    final_beta = 0.0
     for _ in range(krylov_dim):
         w = matvec(basis[-1])
         alpha = space.dot(basis[-1], w)
@@ -66,6 +75,7 @@ def _lanczos_spectrum(matvec, v0, krylov_dim: int, space: VectorSpace):
             if overlap != 0.0:
                 space.axpy(-overlap, u, w)
         beta = space.norm(w)
+        final_beta = float(beta)
         if beta <= 1e-14:
             break
         betas.append(float(beta))
@@ -74,7 +84,7 @@ def _lanczos_spectrum(matvec, v0, krylov_dim: int, space: VectorSpace):
     m = len(alphas)
     evals, evecs = eigh_tridiagonal(np.asarray(alphas), np.asarray(betas[: m - 1]))
     weights = np.abs(evecs[0, :]) ** 2
-    return evals, weights
+    return evals, weights, final_beta
 
 
 def _lanczos_spectra_block(matvec, v0_block: np.ndarray, krylov_dim: int):
@@ -96,6 +106,7 @@ def _lanczos_spectra_block(matvec, v0_block: np.ndarray, krylov_dim: int):
     alphas: list[list[float]] = [[] for _ in range(k)]
     offdiag: list[list[float]] = [[] for _ in range(k)]
     active = np.ones(k, dtype=bool)
+    final_beta = np.zeros(k)
     for step in range(krylov_dim):
         w = apply_block(matvec, blocks[-1])
         alpha = np.einsum("ij,ij->j", blocks[-1].conj(), w)
@@ -111,6 +122,7 @@ def _lanczos_spectra_block(matvec, v0_block: np.ndarray, krylov_dim: int):
             overlap = np.einsum("ij,ij->j", u.conj(), w)
             w = w - u * overlap
         beta = np.linalg.norm(w, axis=0)
+        final_beta = beta
         active &= beta > 1e-14
         if not active.any():
             break
@@ -125,7 +137,9 @@ def _lanczos_spectra_block(matvec, v0_block: np.ndarray, krylov_dim: int):
         evals, evecs = eigh_tridiagonal(
             np.asarray(alphas[j]), np.asarray(offdiag[j][: m - 1])
         )
-        spectra.append((evals, np.abs(evecs[0, :]) ** 2))
+        spectra.append(
+            (evals, np.abs(evecs[0, :]) ** 2, float(final_beta[j]))
+        )
     return spectra
 
 
@@ -182,6 +196,9 @@ def ftlm_thermal(
     e2_sum = np.zeros_like(betas)
     # Shift by the lowest Ritz value across samples to keep exponentials
     # finite at low temperature.
+    tele = current_telemetry()
+    t_start = time.perf_counter()
+    progress: list = []
     all_spectra = []
     sample = 0
     while sample < n_samples:
@@ -202,9 +219,26 @@ def ftlm_thermal(
             all_spectra.append(
                 _lanczos_spectrum(matvec, v0, krylov_dim, space)
             )
+        elapsed = time.perf_counter() - t_start
+        for j, (evals, _, residual) in enumerate(
+            all_spectra[sample:], start=sample
+        ):
+            entry = {
+                "sample": j,
+                "residual": residual,
+                "ritz_min": float(evals[0]),
+                "ritz_max": float(evals[-1]),
+                "elapsed": elapsed,
+            }
+            progress.append(entry)
+            tele.metrics.counter("ftlm.samples").inc()
+            tele.metrics.gauge("ftlm.ritz_min").set(entry["ritz_min"])
+            tele.metrics.gauge("ftlm.ritz_max").set(entry["ritz_max"])
+            if telemetry_log.enabled("debug"):
+                telemetry_log.debug("ftlm.sample", **entry)
         sample += width
     e_min = min(spec[0].min() for spec in all_spectra)
-    for evals, weights in all_spectra:
+    for evals, weights, _ in all_spectra:
         boltz = np.exp(-np.outer(betas, evals - e_min))  # (T, i)
         z_sum += boltz @ weights
         e_sum += boltz @ (weights * evals)
@@ -221,4 +255,5 @@ def ftlm_thermal(
         partition_function=partition,
         n_samples=n_samples,
         krylov_dim=krylov_dim,
+        progress=progress,
     )

@@ -17,6 +17,7 @@ the production code is explicit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,7 +30,9 @@ from repro.resilience.checkpoint import (
     load_latest_checkpoint,
     write_checkpoint,
 )
+from repro.telemetry import log as telemetry_log
 from repro.telemetry.context import current as current_telemetry
+from repro.telemetry.jobs import current_job
 
 __all__ = ["LanczosResult", "lanczos", "lanczos_distributed"]
 
@@ -45,23 +48,34 @@ class LanczosResult:
     converged: bool
     alphas: np.ndarray = field(repr=False, default=None)
     betas: np.ndarray = field(repr=False, default=None)
+    #: Per-iteration progress series: dicts with ``iteration``,
+    #: ``residual``, ``ritz_min``, ``ritz_max``, and ``elapsed`` seconds
+    #: (wall-clock, or simulated when the caller supplies ``clock=``).
+    progress: list = field(repr=False, default_factory=list)
 
 
-def _record_iteration(tele, iteration: int, residual: float) -> None:
+def _record_iteration(tele, entry: dict, solver: str = "lanczos") -> None:
     """Feed one iteration's convergence state to the ambient telemetry.
 
     The residual lands in a gauge (current value), a histogram (the
     distribution over iterations), and — when tracing — a counter sample
     at the current end of the simulated timeline, so Perfetto shows the
-    residual decaying against the pipeline activity below it.
+    residual decaying against the pipeline activity below it.  The Ritz
+    extremes land in gauges, and the whole entry goes to the structured
+    log when one is configured.
     """
-    tele.metrics.counter("lanczos.iterations").inc()
-    tele.metrics.gauge("lanczos.residual").set(residual)
-    tele.metrics.histogram("lanczos.residual_per_iteration").observe(residual)
+    residual = entry["residual"]
+    tele.metrics.counter(f"{solver}.iterations").inc()
+    tele.metrics.gauge(f"{solver}.residual").set(residual)
+    tele.metrics.histogram(f"{solver}.residual_per_iteration").observe(
+        residual
+    )
+    tele.metrics.gauge(f"{solver}.ritz_min").set(entry["ritz_min"])
+    tele.metrics.gauge(f"{solver}.ritz_max").set(entry["ritz_max"])
     if tele.trace.enabled:
-        tele.trace.counter(
-            ("solver", "lanczos"), "residual", 0.0, residual
-        )
+        tele.trace.counter(("solver", solver), "residual", 0.0, residual)
+    if telemetry_log.enabled("debug"):
+        telemetry_log.debug(f"{solver}.iteration", **entry)
 
 
 def lanczos(
@@ -78,6 +92,7 @@ def lanczos(
     checkpoint_every: int = 10,
     checkpoint_keep: int = 2,
     resume: bool = False,
+    clock=None,
 ) -> LanczosResult:
     """Lowest ``k`` eigenpairs of a Hermitian operator.
 
@@ -111,11 +126,20 @@ def lanczos(
         captures the exact ``float64`` state, the resumed run continues
         bit-for-bit identically to the uninterrupted one.  An empty
         checkpoint directory falls back to a cold start.
+    clock:
+        Optional zero-argument callable returning elapsed seconds for the
+        per-iteration progress series (``result.progress``); defaults to
+        wall-clock time since the solver started.
+        :func:`lanczos_distributed` passes the simulated cluster time.
     """
     matvec = as_matvec(matvec)
     if space is None:
         space = NumpyVectorSpace()
     tele = current_telemetry()
+    t_start = time.perf_counter()
+    if clock is None:
+        clock = lambda: time.perf_counter() - t_start  # noqa: E731
+    progress: list = []
     norm0 = space.norm(v0)
     if norm0 == 0.0:
         raise ValueError("starting vector must be non-zero")
@@ -165,7 +189,15 @@ def lanczos(
             )
             eigenvalues = evals[:k]
             residuals = np.abs(beta * evecs[-1, :k])
-            _record_iteration(tele, n_iter, float(residuals.max()))
+            entry = {
+                "iteration": n_iter,
+                "residual": float(residuals.max()),
+                "ritz_min": float(evals[0]),
+                "ritz_max": float(evals[-1]),
+                "elapsed": float(clock()),
+            }
+            progress.append(entry)
+            _record_iteration(tele, entry)
             if np.all(residuals <= tol * max(1.0, float(np.abs(evals).max()))):
                 converged = True
                 break
@@ -226,6 +258,7 @@ def lanczos(
         converged=converged,
         alphas=np.asarray(alphas),
         betas=np.asarray(betas),
+        progress=progress,
     )
 
 
@@ -273,6 +306,24 @@ def lanczos_distributed(
     else:
         matvec = operator.matvec
 
+    def sim_clock():
+        # Simulated seconds spent so far in matvecs plus reductions —
+        # the cluster-time axis for the progress series.
+        return (
+            operator.total_sim_time - start_matvec
+        ) + space.report.elapsed
+
+    kwargs.setdefault("clock", sim_clock)
+    start_reduce = space.report.elapsed
     result = lanczos(matvec, v0, k=k, space=space, **kwargs)
     sim_time = (operator.total_sim_time - start_matvec) + space.report.elapsed
+    reduce_time = space.report.elapsed - start_reduce
+    current_telemetry().metrics.counter(
+        "sim.seconds", phase="reductions"
+    ).inc(reduce_time)
+    job = current_job()
+    if job is not None:
+        # The matvec phases were charged by the matvec implementations;
+        # the solver charges only its reduction time on top.
+        job.ledger.charge("lanczos.reductions", reduce_time)
     return result, sim_time

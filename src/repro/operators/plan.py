@@ -33,6 +33,7 @@ from typing import Hashable
 
 import numpy as np
 
+from repro.telemetry import log as telemetry_log
 from repro.telemetry.context import current as current_telemetry
 
 __all__ = ["MatvecPlan"]
@@ -127,8 +128,13 @@ class MatvecPlan:
             self._bytes -= old
         while self._bytes + nbytes > self.capacity_bytes and self._entries:
             old_key, _ = self._entries.popitem(last=False)
-            self._bytes -= self._nbytes_by_key.pop(old_key)
+            evicted = self._nbytes_by_key.pop(old_key)
+            self._bytes -= evicted
             metrics.counter("plan.evictions").inc()
+            if telemetry_log.enabled("debug"):
+                telemetry_log.debug(
+                    "plan.evict", key=str(old_key), nbytes=evicted
+                )
         self._entries[key] = entry
         self._nbytes_by_key[key] = nbytes
         self._bytes += nbytes

@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterator
 
 from repro.errors import DeadlockError
+from repro.telemetry import log as telemetry_log
 
 __all__ = [
     "Simulator",
@@ -401,6 +402,13 @@ class Simulator:
                 self._trace.instant(
                     process.track, f"crash locale {locale}", self.now
                 )
+            if telemetry_log.enabled("warning"):
+                telemetry_log.warning(
+                    "simulator.crash",
+                    locale=locale,
+                    process=process.name,
+                    sim_now=self.now,
+                )
 
     # -- event loop -----------------------------------------------------------
 
@@ -497,6 +505,13 @@ class Simulator:
             suffix = (
                 f" (crashed locales: {crashed})" if crashed else ""
             )
+            if telemetry_log.enabled("error"):
+                telemetry_log.error(
+                    "simulator.deadlock",
+                    blocked=len(blocked),
+                    crashed_locales=crashed,
+                    sim_now=self.now,
+                )
             raise DeadlockError(
                 f"simulation deadlock: {len(blocked)} process(es) still "
                 f"blocked with no pending events: {details}{suffix}",

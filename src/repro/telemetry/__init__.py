@@ -30,6 +30,14 @@ from repro.telemetry.context import (
     install,
     use,
 )
+from repro.telemetry.jobs import (
+    CostLedger,
+    JobContext,
+    attribute_report,
+    current_job,
+    job,
+    ndarray_bytes,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -54,10 +62,21 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "JobContext",
+    "CostLedger",
+    "current_job",
+    "job",
+    "ndarray_bytes",
+    "attribute_report",
     "TraceAnalysis",
     "analyze_trace",
     "communication_matrix_from_metrics",
     "load_spans",
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "OpenMetricsError",
+    "PeriodicExporter",
 ]
 
 _ANALYSIS_EXPORTS = {
@@ -67,15 +86,31 @@ _ANALYSIS_EXPORTS = {
     "load_spans",
 }
 
+_EXPORT_EXPORTS = {
+    "render_openmetrics",
+    "write_openmetrics",
+    "parse_openmetrics",
+    "OpenMetricsError",
+    "PeriodicExporter",
+}
+
 
 def __getattr__(name: str):
     # Lazy so that `python -m repro.telemetry.analysis` does not import
     # the module twice (runpy would warn), and plain telemetry users
-    # don't pay for the analysis machinery.
-    if name in _ANALYSIS_EXPORTS:
-        from repro.telemetry import analysis
+    # don't pay for the analysis/export machinery.  importlib (not a
+    # from-import) because a from-import would bounce back through this
+    # very __getattr__ and recurse.
+    import importlib
 
+    if name in _ANALYSIS_EXPORTS:
+        analysis = importlib.import_module("repro.telemetry.analysis")
         return getattr(analysis, name)
+    if name in _EXPORT_EXPORTS:
+        export = importlib.import_module("repro.telemetry.export")
+        return getattr(export, name)
+    if name == "log":
+        return importlib.import_module("repro.telemetry.log")
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}"
     )

@@ -32,11 +32,17 @@ Use it as a library (:func:`analyze_trace`) or from the command line::
     python -m repro.telemetry.analysis trace.json
     python -m repro.telemetry.analysis trace.json --metrics metrics.json --json
     python -m repro.telemetry.analysis diff before.json after.json
+    python -m repro.telemetry.analysis cost trace.json
+    python -m repro.telemetry.analysis jobs trace.json
 
 (also installed as the ``repro-inspect`` console script).  The ``diff``
 subcommand compares two traces or two metrics snapshots and prints the
 deltas — the manual half of the regression gating that
-:mod:`repro.bench.compare` automates for benchmark artifacts.
+:mod:`repro.bench.compare` automates for benchmark artifacts.  The
+``cost`` subcommand groups every span by the ``job`` id stamped into its
+args (see :mod:`repro.telemetry.jobs`) and prints the per-job cost
+attribution table; ``jobs`` lists the jobs a trace recorded, with their
+tenant/workload tags and activity window.
 """
 
 from __future__ import annotations
@@ -51,12 +57,22 @@ from typing import Any, Iterable
 __all__ = [
     "Span",
     "TraceAnalysis",
+    "TraceFormatError",
     "analyze_trace",
     "load_spans",
     "communication_matrix_from_metrics",
     "diff_analyses",
+    "aggregate_job_costs",
     "main",
 ]
+
+
+class TraceFormatError(ValueError):
+    """Raised when an input file is not a readable trace/metrics JSON.
+
+    The CLI turns this into a one-line error message and exit code 2
+    instead of a traceback.
+    """
 
 _US = 1e6
 _LOCALE_RE = re.compile(r"^locale(\d+)$")
@@ -105,13 +121,39 @@ class Span:
 
 
 def _load_chrome(source) -> dict:
-    """A Chrome trace dict from a path, JSON string, dict, or recorder."""
+    """A Chrome trace dict from a path, JSON string, dict, or recorder.
+
+    Raises :class:`TraceFormatError` (never a bare traceback) when the
+    file is unreadable, empty, truncated, or parses to something that is
+    not a Chrome trace (no ``traceEvents`` list).
+    """
     if hasattr(source, "to_chrome"):  # TraceRecorder
         return source.to_chrome()
     if isinstance(source, dict):
-        return source
-    text = Path(source).read_text()
-    return json.loads(text)
+        data = source
+    else:
+        try:
+            text = Path(source).read_text()
+        except OSError as exc:
+            raise TraceFormatError(f"cannot read {source}: {exc}") from exc
+        if not text.strip():
+            raise TraceFormatError(f"{source} is empty — not a trace file")
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{source} is not valid JSON (truncated or corrupt?): "
+                f"{exc}"
+            ) from exc
+    if not isinstance(data, dict) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        raise TraceFormatError(
+            f"{source if not isinstance(source, dict) else 'input'} is "
+            "valid JSON but not a Chrome trace (no 'traceEvents' list); "
+            "pass a file produced by --trace"
+        )
+    return data
 
 
 def load_spans(source) -> list[Span]:
@@ -552,13 +594,16 @@ def diff_analyses(a: TraceAnalysis, b: TraceAnalysis) -> list[dict[str, float]]:
     for key in left:
         old, new = left[key], right.get(key, 0.0)
         delta = new - old
+        # ratio is None (renders as "inf", serializes as null) when the
+        # baseline is zero and the candidate is not: strict JSON has no
+        # Infinity token.
         rows.append(
             {
                 "metric": key,
                 "a": old,
                 "b": new,
                 "delta": delta,
-                "ratio": new / old if old else float("inf") if new else 1.0,
+                "ratio": new / old if old else None if new else 1.0,
             }
         )
     return rows
@@ -569,16 +614,28 @@ def _render_diff(rows: list[dict[str, float]]) -> str:
         f"{'metric':<28} {'a':>14} {'b':>14} {'delta':>14} {'ratio':>8}"
     ]
     for row in rows:
+        ratio = "inf" if row["ratio"] is None else f"{row['ratio']:.3f}"
         lines.append(
             f"{row['metric']:<28} {row['a']:>14.6g} {row['b']:>14.6g} "
-            f"{row['delta']:>+14.6g} {row['ratio']:>8.3f}"
+            f"{row['delta']:>+14.6g} {ratio:>8}"
         )
     return "\n".join(lines)
 
 
 def _looks_like_metrics(path: str) -> bool:
-    data = json.loads(Path(path).read_text())
-    return "traceEvents" not in data and (
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read {path}: {exc}") from exc
+    if not text.strip():
+        raise TraceFormatError(f"{path} is empty — not a trace/metrics file")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"{path} is not valid JSON (truncated or corrupt?): {exc}"
+        ) from exc
+    return isinstance(data, dict) and "traceEvents" not in data and (
         "counters" in data or "gauges" in data or "histograms" in data
     )
 
@@ -606,14 +663,195 @@ def _diff_metrics(path_a: str, path_b: str) -> str:
     return "\n".join(lines)
 
 
+# -- job attribution ---------------------------------------------------------
+
+UNATTRIBUTED = "(unattributed)"
+
+
+def _job_metadata(source) -> dict[str, dict]:
+    """job id -> tenant/workload/start from ``job.start`` instant events."""
+    chrome = _load_chrome(source)
+    jobs: dict[str, dict] = {}
+    for event in chrome.get("traceEvents", []):
+        if event.get("ph") != "i" or event.get("name") != "job.start":
+            continue
+        args = event.get("args") or {}
+        job = args.get("job")
+        if job:
+            jobs[str(job)] = {
+                "tenant": args.get("tenant", ""),
+                "workload": args.get("workload", ""),
+                "started": event.get("ts", 0.0) / _US,
+            }
+    return jobs
+
+
+def aggregate_job_costs(source) -> dict[str, dict]:
+    """Per-job cost attribution from a recorded trace.
+
+    Groups every complete span by its ``args["job"]`` stamp (spans
+    recorded outside any job scope land under ``"(unattributed)"``) and
+    sums busy time by category plus the wire traffic carried in span
+    args — the table the service layer bills from and the autotuner
+    reads.
+    """
+    chrome = _load_chrome(source)
+    spans = load_spans(chrome)
+    meta = _job_metadata(chrome)
+
+    def new_row(job_id: str) -> dict:
+        info = meta.get(job_id, {})
+        return {
+            "job": job_id,
+            "tenant": info.get("tenant", ""),
+            "workload": info.get("workload", ""),
+            "spans": 0,
+            "compute_seconds": 0.0,
+            "send_seconds": 0.0,
+            "stall_seconds": 0.0,
+            "idle_seconds": 0.0,
+            "wire_bytes": 0.0,
+            "messages": 0.0,
+            "first_event": None,
+            "last_event": None,
+        }
+
+    rows: dict[str, dict] = {}
+    for job_id in meta:
+        rows[job_id] = new_row(job_id)
+    for span in spans:
+        job_id = str(span.args.get("job", UNATTRIBUTED))
+        row = rows.get(job_id)
+        if row is None:
+            row = rows[job_id] = new_row(job_id)
+        row["spans"] += 1
+        row[f"{span.category}_seconds"] += span.duration
+        if row["first_event"] is None or span.start < row["first_event"]:
+            row["first_event"] = span.start
+        if row["last_event"] is None or span.end > row["last_event"]:
+            row["last_event"] = span.end
+        args = span.args
+        if "src" in args and "dst" in args:
+            row["wire_bytes"] += float(args.get("bytes", 0))
+            row["messages"] += float(args.get("msgs", 1))
+        for entry in args.get("comm", ()):
+            row["wire_bytes"] += float(entry[2])
+            row["messages"] += float(entry[3])
+    for row in rows.values():
+        row["busy_seconds"] = (
+            row["compute_seconds"] + row["send_seconds"]
+        )
+    total_busy = sum(r["busy_seconds"] for r in rows.values())
+    for row in rows.values():
+        row["busy_share"] = (
+            row["busy_seconds"] / total_busy if total_busy > 0.0 else 0.0
+        )
+    return dict(
+        sorted(rows.items(), key=lambda kv: -kv[1]["busy_seconds"])
+    )
+
+
+def _render_cost(rows: dict[str, dict]) -> str:
+    lines = [
+        f"{'job':<24} {'spans':>7} {'compute[s]':>12} {'send[s]':>10} "
+        f"{'stall[s]':>10} {'busy[s]':>10} {'share':>7} "
+        f"{'bytes':>12} {'msgs':>8}"
+    ]
+    for row in rows.values():
+        lines.append(
+            f"{row['job']:<24} {row['spans']:>7} "
+            f"{row['compute_seconds']:>12.6g} {row['send_seconds']:>10.4g} "
+            f"{row['stall_seconds']:>10.4g} {row['busy_seconds']:>10.6g} "
+            f"{row['busy_share']:>7.1%} "
+            f"{row['wire_bytes']:>12.6g} {row['messages']:>8.6g}"
+        )
+    if len(lines) == 1:
+        lines.append("(no spans)")
+    return "\n".join(lines)
+
+
+def _render_jobs(rows: dict[str, dict]) -> str:
+    lines = [
+        f"{'job':<24} {'tenant':<12} {'workload':<16} {'spans':>7} "
+        f"{'first[s]':>10} {'last[s]':>10} {'busy[s]':>10}"
+    ]
+    for row in rows.values():
+        first = row["first_event"]
+        last = row["last_event"]
+        lines.append(
+            f"{row['job']:<24} {row['tenant']:<12} {row['workload']:<16} "
+            f"{row['spans']:>7} "
+            f"{first if first is not None else 0.0:>10.6g} "
+            f"{last if last is not None else 0.0:>10.6g} "
+            f"{row['busy_seconds']:>10.6g}"
+        )
+    if len(lines) == 1:
+        lines.append("(no jobs recorded)")
+    return "\n".join(lines)
+
+
 # -- CLI --------------------------------------------------------------------
 
 
 def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    try:
+        return _main(argv)
+    except TraceFormatError as exc:
+        print(f"repro-inspect: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: list[str] | None = None) -> int:
     import argparse
     import sys
 
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("cost", "jobs"):
+        command = argv[0]
+        parser = argparse.ArgumentParser(
+            prog=f"repro-inspect {command}",
+            description=(
+                "Aggregate a recorded trace by job and print the "
+                "per-job cost attribution table"
+                if command == "cost"
+                else "List the jobs recorded in a trace (tenant, "
+                "workload, activity window)"
+            ),
+        )
+        parser.add_argument(
+            "trace", help="path to a Chrome trace-event JSON file"
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            default=None,
+            help="also write the JSON report to PATH",
+        )
+        args = parser.parse_args(argv[1:])
+        rows = aggregate_job_costs(args.trace)
+        if command == "jobs":
+            rows = {
+                job_id: row
+                for job_id, row in rows.items()
+                if job_id != UNATTRIBUTED
+            }
+        payload = list(rows.values())
+        if args.out is not None:
+            Path(args.out).write_text(json.dumps(payload, indent=2))
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            print(
+                _render_cost(rows)
+                if command == "cost"
+                else _render_jobs(rows)
+            )
+        return 0
     if argv and argv[0] == "diff":
         parser = argparse.ArgumentParser(
             prog="repro-inspect diff",

@@ -1,0 +1,285 @@
+"""Job-scoped cost attribution.
+
+A :class:`JobContext` names the unit of accounting — a job id plus
+optional tenant and workload tags — and travels in a
+:class:`contextvars.ContextVar`, so it follows the logical flow of
+control through the simulator, the distributed matvec variants,
+:class:`~repro.operators.plan.MatvecPlan` replay, enumeration/convert,
+and the Krylov solvers without threading an argument through every call
+signature.  While a job is active:
+
+- every instrument handed out by the ambient
+  :class:`~repro.telemetry.metrics.MetricsRegistry` *fans out*: each
+  increment/observation is applied to the global instrument **and** to a
+  private per-job mirror registry, so per-job sums are conserved against
+  the global totals by construction;
+- every span and instant recorded by the ambient
+  :class:`~repro.telemetry.trace.TraceRecorder` carries a ``"job"`` arg,
+  which ``repro-inspect cost`` / ``repro-inspect jobs`` aggregate;
+- simulated seconds, checkpoint traffic, and peak array memory are
+  charged to the job's :class:`CostLedger`.
+
+Use::
+
+    with telemetry.use(telemetry.Telemetry.enabled()):
+        with jobs.job("tenant-a/gs-14", tenant="a", workload="chain") as ctx:
+            operator.matvec(x)
+        print(ctx.ledger.table())
+
+This module deliberately imports nothing from the rest of
+``repro.telemetry`` at module level: ``metrics.py`` and ``trace.py``
+import :func:`current_job` from here, and the job's mirror registry is
+created with a function-level import.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "JobContext",
+    "CostLedger",
+    "current_job",
+    "job",
+    "ndarray_bytes",
+]
+
+_current_job: "contextvars.ContextVar[JobContext | None]" = (
+    contextvars.ContextVar("repro_current_job", default=None)
+)
+
+_job_seq = itertools.count(1)
+
+
+def current_job() -> "JobContext | None":
+    """The active job, or ``None`` outside any :func:`job` scope."""
+    return _current_job.get()
+
+
+def ndarray_bytes(*objects: Any) -> int:
+    """Total buffer size of ndarray-like objects.
+
+    Accepts anything with an ``nbytes`` attribute (``numpy.ndarray``,
+    :class:`~repro.distributed.vector.DistributedVector`), iterables of
+    such, and silently skips ``None``.
+    """
+    total = 0
+    for obj in objects:
+        if obj is None:
+            continue
+        nbytes = getattr(obj, "nbytes", None)
+        if nbytes is not None:
+            total += int(nbytes)
+        elif isinstance(obj, (list, tuple)):
+            total += ndarray_bytes(*obj)
+    return total
+
+
+@dataclass
+class CostLedger:
+    """Resources charged to one job.
+
+    Simulated seconds are charged explicitly by phase
+    (:meth:`charge`); wire traffic, plan-cache, and checkpoint totals
+    are derived from the job's mirror metrics registry, which receives
+    exactly the increments the global registry did while the job was
+    active — so per-job sums conserve against global totals.
+    """
+
+    sim_seconds: dict = field(default_factory=dict)
+    peak_array_bytes: int = 0
+    tracemalloc_peak_bytes: int = 0
+    _metrics: Any = None  # the job's mirror MetricsRegistry
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Add ``seconds`` of simulated time under ``phase``."""
+        self.sim_seconds[phase] = self.sim_seconds.get(phase, 0.0) + float(
+            seconds
+        )
+
+    def observe_array_bytes(self, nbytes: int) -> None:
+        """Record a high-water mark for live ndarray memory."""
+        if nbytes > self.peak_array_bytes:
+            self.peak_array_bytes = int(nbytes)
+
+    @property
+    def total_sim_seconds(self) -> float:
+        return sum(self.sim_seconds.values())
+
+    def _counter_total(self, name: str) -> float:
+        if self._metrics is None:
+            return 0.0
+        return self._metrics.counter_total(name)
+
+    @property
+    def wire_bytes(self) -> float:
+        """Bytes put on the simulated wire by this job (all subsystems)."""
+        return sum(
+            self._counter_total(name)
+            for name in ("matvec.bytes", "enumeration.bytes", "convert.bytes")
+        )
+
+    @property
+    def wire_messages(self) -> float:
+        return sum(
+            self._counter_total(name)
+            for name in (
+                "matvec.messages",
+                "enumeration.messages",
+                "convert.messages",
+            )
+        )
+
+    @property
+    def plan_hits(self) -> float:
+        return self._counter_total("plan.hits")
+
+    @property
+    def plan_misses(self) -> float:
+        return self._counter_total("plan.misses")
+
+    @property
+    def checkpoint_bytes(self) -> float:
+        return self._counter_total("checkpoint.bytes")
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable summary of everything charged so far."""
+        return {
+            "sim_seconds": dict(self.sim_seconds),
+            "total_sim_seconds": self.total_sim_seconds,
+            "wire_bytes": self.wire_bytes,
+            "wire_messages": self.wire_messages,
+            "plan_hits": self.plan_hits,
+            "plan_misses": self.plan_misses,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "peak_array_bytes": self.peak_array_bytes,
+            "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
+        }
+
+    def table(self) -> str:
+        """A human-readable cost summary."""
+        snap = self.snapshot()
+        lines = [f"{'resource':<28} {'value':>16}"]
+        for phase, secs in sorted(snap["sim_seconds"].items()):
+            lines.append(f"{'sim_seconds.' + phase:<28} {secs:>16.6g}")
+        for key in (
+            "total_sim_seconds",
+            "wire_bytes",
+            "wire_messages",
+            "plan_hits",
+            "plan_misses",
+            "checkpoint_bytes",
+            "peak_array_bytes",
+            "tracemalloc_peak_bytes",
+        ):
+            lines.append(f"{key:<28} {snap[key]:>16.6g}")
+        return "\n".join(lines)
+
+
+class JobContext:
+    """One accountable unit of work (a job id plus tenant/workload tags).
+
+    Holds the job's mirror :class:`MetricsRegistry` (written by the
+    fan-out instruments the global registry hands out while the job is
+    active) and its :class:`CostLedger`.
+    """
+
+    __slots__ = ("job_id", "tenant", "workload", "metrics", "ledger")
+
+    def __init__(
+        self, job_id: str, tenant: str = "", workload: str = ""
+    ) -> None:
+        from repro.telemetry.metrics import MetricsRegistry
+
+        self.job_id = str(job_id)
+        self.tenant = tenant
+        self.workload = workload
+        # fanout=False: the mirror must never itself fan out, or every
+        # write would recurse back through the active job.
+        self.metrics = MetricsRegistry(fanout=False)
+        self.ledger = CostLedger(_metrics=self.metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobContext(job_id={self.job_id!r}, tenant={self.tenant!r}, "
+            f"workload={self.workload!r})"
+        )
+
+
+@contextmanager
+def job(
+    job_id: "str | JobContext | None" = None,
+    tenant: str = "",
+    workload: str = "",
+) -> Iterator[JobContext]:
+    """Attribute everything in the block to one job.
+
+    Registers the job in the ambient
+    :class:`~repro.telemetry.context.Telemetry` bundle (when one is
+    installed) so exporters can enumerate live jobs, emits a
+    ``job.start`` instant on the trace carrying the tenant/workload
+    tags, and snapshots the tracemalloc peak on exit when tracing is on.
+    Nested scopes restore the outer job on exit.
+
+    Pass an existing :class:`JobContext` to *re-enter* it — a service
+    layer resuming an interleaved job keeps accumulating into the same
+    ledger and mirror registry instead of opening a fresh account.
+    """
+    from repro.telemetry.context import NULL_TELEMETRY, current
+
+    reentry = isinstance(job_id, JobContext)
+    if reentry:
+        ctx = job_id
+    else:
+        if job_id is None:
+            job_id = f"job-{next(_job_seq)}"
+        ctx = JobContext(job_id, tenant=tenant, workload=workload)
+    tele = current()
+    if tele is not NULL_TELEMETRY:
+        tele.jobs[ctx.job_id] = ctx
+    token = _current_job.set(ctx)
+    if not reentry and tele.trace.enabled:
+        tele.trace.instant(
+            ("jobs", "registry"),
+            "job.start",
+            0.0,
+            args={
+                "job": ctx.job_id,
+                "tenant": ctx.tenant,
+                "workload": ctx.workload,
+            },
+        )
+    try:
+        yield ctx
+    finally:
+        _current_job.reset(token)
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            if peak > ctx.ledger.tracemalloc_peak_bytes:
+                ctx.ledger.tracemalloc_peak_bytes = int(peak)
+
+
+def attribute_report(report: Any, phase: str, *arrays: Any) -> None:
+    """Charge a finished :class:`SimReport` to the active job, if any.
+
+    Adds the report's simulated elapsed under ``phase``, folds the
+    given arrays into the job's peak-array-memory high-water mark, and
+    stamps the report with the job id and a ledger snapshot.
+    """
+    ctx = current_job()
+    if ctx is None:
+        return
+    ctx.ledger.charge(phase, report.elapsed)
+    nbytes = ndarray_bytes(*arrays)
+    if nbytes:
+        ctx.ledger.observe_array_bytes(nbytes)
+    report.job_id = ctx.job_id
+    report.job_costs = ctx.ledger.snapshot()
+
+
+__all__.append("attribute_report")

@@ -1,0 +1,180 @@
+"""Structured JSON-lines logging, correlated with jobs and sim time.
+
+One record per line, machine-parseable, replacing the ad-hoc prints the
+CLI used to scatter on stderr.  Every record automatically carries:
+
+- ``seq`` — a monotone sequence number (stable ordering for tooling);
+- ``job`` / ``tenant`` — from the active :mod:`repro.telemetry.jobs`
+  scope, when one is set;
+- ``sim_time`` — the ambient trace recorder's global-timeline offset in
+  simulated seconds, when tracing is enabled — which is what correlates
+  a log line with the spans around it.
+
+Disabled by default: :func:`log` is a single global-read no-op until
+:func:`configure` points it at a stream or path (the ``--log-json``
+CLI flag).  Levels follow syslog-ish ordering: ``debug`` < ``info`` <
+``warning`` < ``error``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+__all__ = [
+    "configure",
+    "disable",
+    "enabled",
+    "log",
+    "debug",
+    "info",
+    "warning",
+    "error",
+]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_sink: TextIO | None = None
+_owns_sink = False
+_threshold = _LEVELS["info"]
+_seq = 0
+
+
+def configure(
+    stream: TextIO | None = None,
+    path: str | Path | None = None,
+    level: str = "info",
+) -> None:
+    """Route structured records to ``stream`` or append to ``path``.
+
+    Exactly one of ``stream``/``path`` should be given; ``path`` may be
+    ``"-"`` for stderr.  Reconfiguring closes a previously opened file.
+    """
+    global _sink, _owns_sink, _threshold
+    if stream is not None and path is not None:
+        raise ValueError("pass either stream or path, not both")
+    disable()
+    if path is not None:
+        if str(path) == "-":
+            stream = sys.stderr
+        else:
+            stream = open(path, "a", encoding="utf-8")
+            _owns_sink = True
+    if stream is None:
+        stream = sys.stderr
+    _sink = stream
+    _threshold = _LEVELS[level]
+
+
+def disable() -> None:
+    """Stop logging and close any file this module opened."""
+    global _sink, _owns_sink
+    if _sink is not None and _owns_sink:
+        try:
+            _sink.close()
+        except OSError:  # pragma: no cover - best effort on teardown
+            pass
+    _sink = None
+    _owns_sink = False
+
+
+def enabled(level: str = "info") -> bool:
+    """True when a record at ``level`` would actually be written.
+
+    Instrumentation sites with non-trivial field construction guard on
+    this, so disabled logging costs one global read.
+    """
+    return _sink is not None and _LEVELS[level] >= _threshold
+
+
+def log(event: str, level: str = "info", **fields: Any) -> None:
+    """Emit one JSON record; a no-op unless :func:`configure` ran."""
+    if _sink is None or _LEVELS[level] < _threshold:
+        return
+    global _seq
+    _seq += 1
+    record: dict[str, Any] = {
+        "seq": _seq,
+        "ts": round(time.time(), 6),
+        "level": level,
+        "event": event,
+    }
+    from repro.telemetry.jobs import current_job
+
+    ctx = current_job()
+    if ctx is not None:
+        record["job"] = ctx.job_id
+        if ctx.tenant:
+            record["tenant"] = ctx.tenant
+    from repro.telemetry.context import current
+
+    tele = current()
+    if tele.trace.enabled:
+        record["sim_time"] = round(tele.trace.offset, 9)
+    record.update(fields)
+    try:
+        _sink.write(json.dumps(record, default=str) + "\n")
+        _sink.flush()
+    except ValueError:  # pragma: no cover - sink closed mid-run
+        pass
+
+
+def debug(event: str, **fields: Any) -> None:
+    log(event, level="debug", **fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    log(event, level="info", **fields)
+
+
+def warning(event: str, **fields: Any) -> None:
+    log(event, level="warning", **fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    log(event, level="error", **fields)
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSON-lines log file back into records (test/tool helper)."""
+    records = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return records
+
+
+class capture(io.StringIO):
+    """Context manager: collect records emitted inside the block.
+
+    ::
+
+        with log.capture() as cap:
+            ...
+        records = cap.records()
+    """
+
+    def __init__(self, level: str = "debug") -> None:
+        super().__init__()
+        self._level = level
+
+    def __enter__(self) -> "capture":
+        configure(stream=self, level=self._level)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        disable()
+
+    def records(self) -> list[dict]:
+        return [
+            json.loads(line)
+            for line in self.getvalue().splitlines()
+            if line.strip()
+        ]
+
+
+__all__ += ["read_jsonl", "capture"]

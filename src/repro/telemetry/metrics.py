@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.telemetry.jobs import current_job
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -105,25 +107,104 @@ _NULL_GAUGE = _NullGauge()
 _NULL_HISTOGRAM = _NullHistogram()
 
 
+class _FanoutCounter(Counter):
+    """Applies each increment to the global and the job instrument.
+
+    Both sides see the identical sequence of amounts, which is what
+    makes per-job sums conserve exactly against the global totals.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, *parts: Counter) -> None:
+        self._parts = parts
+
+    @property
+    def value(self) -> float:  # the global instrument's view
+        return self._parts[0].value
+
+    def inc(self, amount: float = 1.0) -> None:
+        for part in self._parts:
+            part.inc(amount)
+
+
+class _FanoutGauge(Gauge):
+    __slots__ = ("_parts",)
+
+    def __init__(self, *parts: Gauge) -> None:
+        self._parts = parts
+
+    @property
+    def value(self) -> float:
+        return self._parts[0].value
+
+    def set(self, value: float) -> None:
+        for part in self._parts:
+            part.set(value)
+
+
+class _FanoutHistogram(Histogram):
+    __slots__ = ("_parts",)
+
+    def __init__(self, *parts: Histogram) -> None:
+        self._parts = parts
+
+    def observe(self, value: float) -> None:
+        for part in self._parts:
+            part.observe(value)
+
+    # Reads delegate to the global instrument.
+    count = property(lambda self: self._parts[0].count)
+    total = property(lambda self: self._parts[0].total)
+    min = property(lambda self: self._parts[0].min)
+    max = property(lambda self: self._parts[0].max)
+
+
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
     return tuple(sorted(labels.items()))
 
 
 class MetricsRegistry:
-    """Creates and interns labelled instruments."""
+    """Creates and interns labelled instruments.
+
+    When a :mod:`repro.telemetry.jobs` scope is active, lookups return a
+    fan-out instrument that writes both the interned global instrument
+    and a mirror in the job's private registry, so every event is
+    attributed without the call sites changing.  Mirror registries are
+    created with ``fanout=False`` and never consult the job context.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, fanout: bool = True) -> None:
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        self._fanout = fanout
+        # (job_id, key) -> fan-out instrument, so repeated lookups under
+        # the same job stay a single dict hit.
+        self._job_instruments: dict = {}
 
     def counter(self, name: str, **labels) -> Counter:
         key = (name, _label_key(labels))
         instrument = self._counters.get(key)
         if instrument is None:
             instrument = self._counters[key] = Counter()
+        if self._fanout:
+            ctx = current_job()
+            if ctx is not None and ctx.metrics is not self:
+                jkey = (ctx.job_id, "c", key)
+                entry = self._job_instruments.get(jkey)
+                # A fresh JobContext may reuse a job id; the mirror
+                # identity check keeps the cache from writing into the
+                # previous context's registry.
+                if entry is None or entry[0] is not ctx.metrics:
+                    fan = _FanoutCounter(
+                        instrument, ctx.metrics.counter(name, **labels)
+                    )
+                    self._job_instruments[jkey] = (ctx.metrics, fan)
+                    return fan
+                return entry[1]
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
@@ -131,6 +212,18 @@ class MetricsRegistry:
         instrument = self._gauges.get(key)
         if instrument is None:
             instrument = self._gauges[key] = Gauge()
+        if self._fanout:
+            ctx = current_job()
+            if ctx is not None and ctx.metrics is not self:
+                jkey = (ctx.job_id, "g", key)
+                entry = self._job_instruments.get(jkey)
+                if entry is None or entry[0] is not ctx.metrics:
+                    fan = _FanoutGauge(
+                        instrument, ctx.metrics.gauge(name, **labels)
+                    )
+                    self._job_instruments[jkey] = (ctx.metrics, fan)
+                    return fan
+                return entry[1]
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
@@ -138,6 +231,18 @@ class MetricsRegistry:
         instrument = self._histograms.get(key)
         if instrument is None:
             instrument = self._histograms[key] = Histogram()
+        if self._fanout:
+            ctx = current_job()
+            if ctx is not None and ctx.metrics is not self:
+                jkey = (ctx.job_id, "h", key)
+                entry = self._job_instruments.get(jkey)
+                if entry is None or entry[0] is not ctx.metrics:
+                    fan = _FanoutHistogram(
+                        instrument, ctx.metrics.histogram(name, **labels)
+                    )
+                    self._job_instruments[jkey] = (ctx.metrics, fan)
+                    return fan
+                return entry[1]
         return instrument
 
     def counter_total(self, name: str) -> float:
@@ -154,11 +259,14 @@ class MetricsRegistry:
             },
             gauges={key: g.value for key, g in sorted(self._gauges.items())},
             histograms={
+                # Empty histograms carry min=inf/max=-inf internally;
+                # serialize those as None so the JSON stays strict (no
+                # bare Infinity tokens).
                 key: {
                     "count": h.count,
                     "sum": h.total,
-                    "min": h.min if h.count else 0.0,
-                    "max": h.max if h.count else 0.0,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
                     "mean": h.mean,
                 }
                 for key, h in sorted(self._histograms.items())
@@ -220,9 +328,13 @@ class MetricsSnapshot:
             )
             for (name, labels), stats in self.histograms.items():
                 label = f"{name}{{{_format_labels(labels)}}}" if labels else name
+                lo = stats["min"] if stats["min"] is not None else "-"
+                hi = stats["max"] if stats["max"] is not None else "-"
+                lo = f"{lo:.4g}" if isinstance(lo, (int, float)) else str(lo)
+                hi = f"{hi:.4g}" if isinstance(hi, (int, float)) else str(hi)
                 lines.append(
                     f"{label:<32} {stats['count']:>8} {stats['mean']:>12.4g} "
-                    f"{stats['min']:>12.4g} {stats['max']:>12.4g}"
+                    f"{lo:>12} {hi:>12}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
 

@@ -73,12 +73,24 @@ class TestClassification:
             ("cold_seconds", False, "lower"),
             ("warm_seconds", False, "lower"),
             ("group_order", False, "exact"),
+            # peak memory must stay soft even though the keys end in
+            # "bytes" (the hard volume rule would otherwise claim them)
+            ("pc.peak_array_bytes", False, "lower"),
+            ("pc.peak_tracemalloc_bytes", False, "lower"),
         ],
     )
     def test_gate_classes(self, key, hard, direction):
         gate = classify(key)
         assert gate.hard is hard
         assert gate.direction == direction
+
+    def test_memory_regression_warns_not_fails(self):
+        baseline = {"pc.peak_tracemalloc_bytes": Stat(mean=1e6, stddev=0.0, n=3)}
+        (row,) = compare_metrics(
+            "x", baseline, {"pc.peak_tracemalloc_bytes": 2e6}
+        )
+        assert row.verdict == "warn"
+        assert not row.fails
 
 
 class TestVerdicts:

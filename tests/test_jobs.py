@@ -1,0 +1,288 @@
+"""Job-scoped cost attribution (``repro.telemetry.jobs``).
+
+The load-bearing property is **conservation**: with several jobs
+interleaved on one cluster, every per-job mirror counter must sum to
+exactly the global counter — integer counters exactly, simulated-seconds
+to 1e-9 relative — for all three distributed matvec variants, including
+warm plan-cache replays.  The fan-out instruments make this true by
+construction; these tests make sure it stays true.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.basis import SymmetricBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+from repro.telemetry import (
+    CostLedger,
+    MetricsRegistry,
+    Telemetry,
+    current_job,
+    job,
+    ndarray_bytes,
+)
+from repro.telemetry.analysis import aggregate_job_costs
+
+METHODS = ["naive", "batched", "pc"]
+
+#: integer-valued counter families that must conserve exactly
+INT_COUNTERS = ["matvec.bytes", "matvec.messages", "plan.hits", "plan.misses"]
+
+
+@pytest.fixture(scope="module")
+def dist_setup():
+    group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+    template = SymmetricBasis(group, hamming_weight=6, build=False)
+    cluster = Cluster(3, laptop_machine(cores=4))
+    dbasis, _ = enumerate_states(cluster, template, chunks_per_core=3)
+    expr = repro.heisenberg_chain(12)
+    return dbasis, expr
+
+
+def _run_interleaved(dbasis, expr, method, n_jobs=3, rounds=2):
+    """``n_jobs`` jobs, each doing ``rounds`` matvecs, interleaved so the
+    plan cache is cold for the first job's first round and warm after."""
+    tele = Telemetry.enabled(trace=True, metrics=True)
+    with telemetry.use(tele):
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=64)
+        contexts = []
+        for j in range(n_jobs):
+            with job(f"{method}-job-{j}", tenant=f"t{j}") as ctx:
+                contexts.append(ctx)
+        rng = np.random.default_rng(7)
+        for _ in range(rounds):
+            for ctx in contexts:
+                with job(ctx):  # re-enter the same accounting scope
+                    x = DistributedVector.full_random(
+                        dbasis, seed=rng.integers(2**31)
+                    )
+                    dop.matvec(x)
+    return tele, contexts
+
+
+class TestConservation:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_wire_counters_conserve_exactly(self, dist_setup, method):
+        dbasis, expr = dist_setup
+        tele, contexts = _run_interleaved(dbasis, expr, method)
+        for name in INT_COUNTERS:
+            total = tele.metrics.counter_total(name)
+            per_job = sum(
+                ctx.metrics.counter_total(name) for ctx in contexts
+            )
+            assert per_job == total, name
+        # The runs were all inside job scopes, so nothing may leak into
+        # an unattributed residual; and the work actually happened.
+        assert tele.metrics.counter_total("matvec.bytes") > 0
+        assert tele.metrics.counter_total("plan.hits") > 0  # warm rounds
+        assert tele.metrics.counter_total("plan.misses") > 0  # cold round
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_sim_seconds_conserve(self, dist_setup, method):
+        dbasis, expr = dist_setup
+        tele, contexts = _run_interleaved(dbasis, expr, method)
+        total = tele.metrics.counter_total("sim.seconds")
+        per_job = sum(
+            ctx.metrics.counter_total("sim.seconds") for ctx in contexts
+        )
+        assert per_job == pytest.approx(total, rel=1e-9)
+        # Every global sim.seconds emission is paired with a ledger
+        # charge, so the ledgers agree with the mirrors too.
+        for ctx in contexts:
+            assert ctx.ledger.total_sim_seconds == pytest.approx(
+                ctx.metrics.counter_total("sim.seconds"), rel=1e-9
+            )
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_ledger_wire_totals_match_global(self, dist_setup, method):
+        dbasis, expr = dist_setup
+        tele, contexts = _run_interleaved(dbasis, expr, method)
+        assert sum(ctx.ledger.wire_bytes for ctx in contexts) == (
+            tele.metrics.counter_total("matvec.bytes")
+        )
+        assert sum(ctx.ledger.wire_messages for ctx in contexts) == (
+            tele.metrics.counter_total("matvec.messages")
+        )
+
+    def test_jobs_share_is_disjoint_and_attributed(self, dist_setup):
+        """Each job's mirror holds only its own traffic: a job that did
+        twice the matvecs accounts for (close to) twice the bytes."""
+        dbasis, expr = dist_setup
+        tele = Telemetry.enabled(trace=False, metrics=True)
+        with telemetry.use(tele):
+            dop = DistributedOperator(
+                expr, dbasis, method="batched", batch_size=64
+            )
+            x = DistributedVector.full_random(dbasis, seed=1)
+            with job("light") as light:
+                dop.matvec(x)
+            with job("heavy") as heavy:
+                dop.matvec(x)
+                dop.matvec(x)
+        light_bytes = light.metrics.counter_total("matvec.bytes")
+        heavy_bytes = heavy.metrics.counter_total("matvec.bytes")
+        assert light_bytes > 0
+        assert heavy_bytes == 2 * light_bytes
+        assert light_bytes + heavy_bytes == tele.metrics.counter_total(
+            "matvec.bytes"
+        )
+
+
+class TestJobScope:
+    def test_no_job_outside_scope(self):
+        assert current_job() is None
+        with job("a") as ctx:
+            assert current_job() is ctx
+        assert current_job() is None
+
+    def test_nested_scopes_restore_outer(self):
+        with job("outer") as outer:
+            with job("inner") as inner:
+                assert current_job() is inner
+            assert current_job() is outer
+
+    def test_auto_ids_are_distinct(self):
+        with job() as a:
+            pass
+        with job() as b:
+            pass
+        assert a.job_id != b.job_id
+
+    def test_reentry_accumulates_into_same_ledger(self):
+        with job("resumable") as ctx:
+            ctx.ledger.charge("phase", 1.0)
+        with job(ctx):
+            assert current_job() is ctx
+            ctx.ledger.charge("phase", 2.0)
+        assert ctx.ledger.sim_seconds["phase"] == pytest.approx(3.0)
+
+    def test_registered_in_telemetry_bundle(self):
+        tele = Telemetry.enabled(trace=False, metrics=True)
+        with telemetry.use(tele):
+            with job("registered") as ctx:
+                pass
+        assert tele.jobs["registered"] is ctx
+
+    def test_fresh_context_same_id_gets_fresh_mirror(self):
+        """Reusing a job *id* (not a context) must not write into the
+        previous context's mirror registry (the fan-out cache is
+        identity-checked)."""
+        tele = Telemetry.enabled(trace=False, metrics=True)
+        with telemetry.use(tele):
+            with job("reused-id") as first:
+                tele.metrics.counter("events").inc(3)
+            with job("reused-id") as second:
+                tele.metrics.counter("events").inc(5)
+        assert first.metrics.counter_total("events") == 3
+        assert second.metrics.counter_total("events") == 5
+        assert tele.metrics.counter_total("events") == 8
+
+
+class TestLedger:
+    def test_charge_accumulates_by_phase(self):
+        ledger = CostLedger()
+        ledger.charge("matvec", 1.5)
+        ledger.charge("matvec", 0.5)
+        ledger.charge("reductions", 1.0)
+        assert ledger.sim_seconds == {"matvec": 2.0, "reductions": 1.0}
+        assert ledger.total_sim_seconds == pytest.approx(3.0)
+
+    def test_peak_array_bytes_is_high_water_mark(self):
+        ledger = CostLedger()
+        ledger.observe_array_bytes(100)
+        ledger.observe_array_bytes(50)
+        assert ledger.peak_array_bytes == 100
+
+    def test_snapshot_and_table(self):
+        ledger = CostLedger(_metrics=MetricsRegistry(fanout=False))
+        ledger.charge("matvec", 2.0)
+        ledger._metrics.counter("matvec.bytes").inc(4096)
+        ledger._metrics.counter("plan.hits").inc(3)
+        snap = ledger.snapshot()
+        assert snap["wire_bytes"] == 4096
+        assert snap["plan_hits"] == 3
+        assert snap["total_sim_seconds"] == pytest.approx(2.0)
+        assert "wire_bytes" in ledger.table()
+
+    def test_ndarray_bytes(self):
+        a = np.zeros(10, dtype=np.float64)
+        b = np.zeros((2, 3), dtype=np.complex128)
+        assert ndarray_bytes(a) == 80
+        assert ndarray_bytes(a, b) == 80 + 96
+        assert ndarray_bytes(None, [a, None, b]) == 80 + 96
+        assert ndarray_bytes() == 0
+
+    def test_ndarray_bytes_distributed_vector(self, dist_setup):
+        dbasis, _ = dist_setup
+        x = DistributedVector.full_random(dbasis, seed=0)
+        assert ndarray_bytes(x) == sum(int(p.nbytes) for p in x.parts)
+
+
+class TestReportAttribution:
+    def test_report_stamped_with_job(self, dist_setup):
+        dbasis, expr = dist_setup
+        tele = Telemetry.enabled(trace=False, metrics=True)
+        with telemetry.use(tele):
+            dop = DistributedOperator(expr, dbasis, method="pc")
+            x = DistributedVector.full_random(dbasis, seed=2)
+            with job("stamped", tenant="acme") as ctx:
+                dop.matvec(x)
+            report = dop.last_report
+        assert report.job_id == "stamped"
+        assert report.job_costs is not None
+        assert report.job_costs["total_sim_seconds"] > 0
+        assert report.job_costs["peak_array_bytes"] > 0
+        assert "stamped" in report.summary()
+        assert ctx.ledger.peak_array_bytes > 0
+
+    def test_lanczos_distributed_charges_reductions(self, dist_setup):
+        dbasis, expr = dist_setup
+        from repro.linalg import lanczos_distributed
+
+        tele = Telemetry.enabled(trace=False, metrics=True)
+        with telemetry.use(tele):
+            dop = DistributedOperator(expr, dbasis, method="batched")
+            with job("eigensolve") as ctx:
+                result, sim_seconds = lanczos_distributed(
+                    dop, k=1, max_iter=12, raise_on_no_convergence=False
+                )
+        assert "lanczos.reductions" in ctx.ledger.sim_seconds
+        assert any(p.startswith("matvec") for p in ctx.ledger.sim_seconds)
+        # The ledger's simulated time covers the whole solve.
+        assert ctx.ledger.total_sim_seconds == pytest.approx(
+            sim_seconds, rel=1e-9
+        )
+        assert result.progress  # per-iteration series rode along
+
+
+class TestTraceAttribution:
+    def test_spans_carry_job_and_aggregate(self, dist_setup):
+        dbasis, expr = dist_setup
+        tele = Telemetry.enabled(trace=True, metrics=True)
+        with telemetry.use(tele):
+            dop = DistributedOperator(expr, dbasis, method="pc")
+            xa = DistributedVector.full_random(dbasis, seed=3)
+            with job("alpha", tenant="a", workload="chain"):
+                dop.matvec(xa)
+            with job("beta", tenant="b", workload="chain"):
+                dop.matvec(xa)
+        rows = aggregate_job_costs(tele.trace)
+        assert set(rows) >= {"alpha", "beta"}
+        assert rows["alpha"]["tenant"] == "a"
+        assert rows["alpha"]["spans"] > 0
+        assert rows["beta"]["wire_bytes"] > 0
+        # Span-harvested wire bytes agree with the mirror registries.
+        total_bytes = sum(
+            rows[j]["wire_bytes"] for j in ("alpha", "beta")
+        )
+        assert total_bytes == tele.metrics.counter_total("matvec.bytes")

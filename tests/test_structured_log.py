@@ -1,0 +1,142 @@
+"""Structured JSON-lines logging (``repro.telemetry.log``).
+
+Records must be strict one-per-line JSON, carry the monotone ``seq``,
+correlate with the active job (``job``/``tenant`` fields) and with the
+simulated timeline (``sim_time`` from the ambient trace offset), and
+cost nothing when logging is not configured.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Telemetry, log
+from repro.telemetry.jobs import job
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging():
+    yield
+    log.disable()
+
+
+class TestRecords:
+    def test_noop_until_configured(self):
+        assert not log.enabled()
+        log.info("ignored")  # must not raise
+
+    def test_capture_and_fields(self):
+        with log.capture() as cap:
+            log.info("checkpoint.write", nbytes=4096, path="ck/000010")
+        (record,) = cap.records()
+        assert record["event"] == "checkpoint.write"
+        assert record["level"] == "info"
+        assert record["nbytes"] == 4096
+        assert record["path"] == "ck/000010"
+        assert record["seq"] >= 1
+        assert "ts" in record
+
+    def test_seq_is_monotone(self):
+        with log.capture() as cap:
+            log.info("a")
+            log.info("b")
+            log.info("c")
+        seqs = [r["seq"] for r in cap.records()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_level_threshold(self):
+        with log.capture(level="warning") as cap:
+            log.debug("quiet")
+            log.info("quiet")
+            log.warning("loud")
+            log.error("loud")
+        assert [r["level"] for r in cap.records()] == ["warning", "error"]
+        assert not log.enabled("info")
+
+    def test_unserializable_fields_fall_back_to_str(self):
+        with log.capture() as cap:
+            log.info("weird", payload=object())
+        (record,) = cap.records()
+        assert isinstance(record["payload"], str)
+
+
+class TestCorrelation:
+    def test_job_and_tenant_stamped(self):
+        with log.capture() as cap:
+            with job("corr-1", tenant="acme"):
+                log.info("inside")
+            log.info("outside")
+        inside, outside = cap.records()
+        assert inside["job"] == "corr-1"
+        assert inside["tenant"] == "acme"
+        assert "job" not in outside
+
+    def test_sim_time_from_trace_offset(self):
+        tele = Telemetry.enabled(trace=True, metrics=False)
+        with telemetry.use(tele):
+            tele.trace.complete(("locale0", "w"), "work", 0.0, 1.25)
+            tele.trace.advance(1.25)
+            with log.capture() as cap:
+                log.info("after-work")
+        (record,) = cap.records()
+        assert record["sim_time"] == pytest.approx(1.25)
+
+    def test_no_sim_time_without_tracing(self):
+        with log.capture() as cap:
+            log.info("untraced")
+        (record,) = cap.records()
+        assert "sim_time" not in record
+
+
+class TestFileSink:
+    def test_path_sink_appends_and_reads_back(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log.configure(path=path, level="debug")
+        log.debug("first", x=1)
+        log.disable()
+        log.configure(path=path)
+        log.info("second", y=2.5)
+        log.disable()
+        records = log.read_jsonl(path)
+        assert [r["event"] for r in records] == ["first", "second"]
+        assert records[1]["y"] == 2.5
+
+    def test_stream_and_path_are_exclusive(self, tmp_path):
+        import io
+
+        with pytest.raises(ValueError):
+            log.configure(stream=io.StringIO(), path=tmp_path / "x.jsonl")
+
+
+class TestInstrumentationSites:
+    def test_simulator_crash_is_logged(self):
+        """The fault-injection path logs structured crash records."""
+        from repro.resilience.faults import FaultPlan
+        from repro.runtime import Cluster, laptop_machine
+
+        import repro
+        from repro.basis import SpinBasis
+        from repro.distributed import (
+            DistributedOperator,
+            DistributedVector,
+            enumerate_states,
+        )
+
+        cluster = Cluster(3, laptop_machine(cores=4))
+        dbasis, _ = enumerate_states(cluster, SpinBasis(8))
+        expr = repro.heisenberg_chain(8)
+        dop = DistributedOperator(
+            expr,
+            dbasis,
+            method="pc",
+            faults=FaultPlan(seed=0, crashes={1: 1e-7}),
+        )
+        x = DistributedVector.full_random(dbasis, seed=0)
+        with log.capture() as cap:
+            dop.matvec(x)
+        crashes = [
+            r for r in cap.records() if r["event"] == "simulator.crash"
+        ]
+        assert crashes and crashes[0]["locale"] == 1

@@ -334,3 +334,112 @@ class TestInspectCLI:
             inspect_main(["diff", str(metrics_path), str(metrics_path)]) == 0
         )
         assert "no differences" in capsys.readouterr().out
+
+
+class TestGracefulFailures:
+    """``repro-inspect`` on broken inputs: clear message, exit code 2."""
+
+    CASES = {
+        "empty": "",
+        "truncated": '{"traceEvents": [',
+        "not_a_trace": '{"hello": 1}',
+        "not_json": "definitely not json",
+    }
+
+    @pytest.mark.parametrize("kind", sorted(CASES))
+    def test_bad_file_fails_cleanly(self, kind, tmp_path, capsys):
+        path = tmp_path / f"{kind}.json"
+        path.write_text(self.CASES[kind])
+        assert inspect_main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-inspect: error:")
+        assert str(path) in err
+
+    @pytest.mark.parametrize("command", [[], ["cost"], ["jobs"], None])
+    def test_all_commands_fail_cleanly(self, command, tmp_path, capsys):
+        path = tmp_path / "trunc.json"
+        path.write_text('{"traceEvents": [')
+        diff = command is None
+        argv = (
+            ["diff", str(path), str(path)] if diff else command + [str(path)]
+        )
+        assert inspect_main(argv) == 2
+        assert "repro-inspect: error:" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert inspect_main([str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_trace_events_is_still_valid(self, tmp_path, capsys):
+        path = tmp_path / "empty_events.json"
+        path.write_text('{"traceEvents": []}')
+        assert inspect_main([str(path)]) == 0
+
+
+class TestJobCostCommands:
+    """``repro-inspect cost`` / ``repro-inspect jobs``."""
+
+    @pytest.fixture(scope="class")
+    def job_trace(self, tmp_path_factory):
+        from repro.telemetry.jobs import job
+
+        group = chain_symmetries(12, momentum=0, parity=0, inversion=0)
+        template = SymmetricBasis(group, hamming_weight=6, build=False)
+        cluster = Cluster(3, laptop_machine(cores=4))
+        dbasis, _ = enumerate_states(cluster, template)
+        dop = DistributedOperator(
+            repro.heisenberg_chain(12), dbasis, method="pc", batch_size=32
+        )
+        tele = Telemetry.enabled()
+        with telemetry.use(tele):
+            x = DistributedVector.full_random(dbasis, seed=0)
+            with job("gs-a", tenant="alice", workload="chain"):
+                dop.matvec(x)
+            with job("gs-b", tenant="bob", workload="chain"):
+                dop.matvec(x)
+                dop.matvec(x)
+        path = tmp_path_factory.mktemp("jobs") / "trace.json"
+        tele.trace.save(path)
+        return path
+
+    def test_cost_table(self, job_trace, capsys):
+        assert inspect_main(["cost", str(job_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "gs-a" in out and "gs-b" in out
+        assert "busy[s]" in out
+
+    def test_cost_json_attribution(self, job_trace, capsys):
+        assert inspect_main(["cost", str(job_trace), "--json"]) == 0
+        rows = {
+            r["job"]: r for r in json.loads(capsys.readouterr().out)
+        }
+        assert rows["gs-a"]["tenant"] == "alice"
+        assert rows["gs-b"]["spans"] > rows["gs-a"]["spans"]
+        assert rows["gs-b"]["wire_bytes"] == 2 * rows["gs-a"]["wire_bytes"]
+        shares = [r["busy_share"] for r in rows.values()]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_jobs_listing(self, job_trace, capsys):
+        assert inspect_main(["jobs", str(job_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "bob" in out
+        assert "(unattributed)" not in out
+
+    def test_cost_out_file(self, job_trace, capsys, tmp_path):
+        report = tmp_path / "cost.json"
+        assert (
+            inspect_main(["cost", str(job_trace), "--out", str(report)]) == 0
+        )
+        rows = json.loads(report.read_text())
+        assert {r["job"] for r in rows} >= {"gs-a", "gs-b"}
+
+    def test_unattributed_bucket(self, tmp_path, capsys):
+        trace = TraceRecorder()
+        _span(trace, 0, "w", "generate", 0.0, 1.0, args={"job": "tagged"})
+        _span(trace, 0, "w", "generate", 1.0, 2.0)
+        path = tmp_path / "mixed.json"
+        trace.save(path)
+        assert inspect_main(["cost", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tagged" in out
+        assert "(unattributed)" in out
