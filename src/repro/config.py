@@ -48,7 +48,9 @@ Command-line flags:
     restart from the newest checkpoint (``docs/RESILIENCE.md``).
 
 The ``cluster`` section accepts ``faults`` and ``resilience``
-sub-sections with the same keys, and the ``solver`` section accepts
+sub-sections with the same keys, a ``backend`` key (``"sim"`` or
+``"threads"``, overridable with ``--backend``; see ``docs/BACKENDS.md``),
+and the ``solver`` section accepts
 ``checkpoint: {"dir": ..., "every": 10, "keep": 2, "resume": false}``.
 
 See ``docs/OBSERVABILITY.md`` for the trace schema and metric names.
@@ -259,6 +261,7 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
         faults_section = cluster_options.pop("faults", None)
         resilience_section = cluster_options.pop("resilience", None)
         machine_name = cluster_options.pop("machine", "snellius")
+        backend = cluster_options.pop("backend", "sim")
         machine = (
             laptop_machine(**cluster_options)
             if machine_name == "laptop"
@@ -275,7 +278,11 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
             else None
         )
         cluster = Cluster(
-            n_locales, machine, faults=faults, resilience=resilience
+            n_locales,
+            machine,
+            faults=faults,
+            resilience=resilience,
+            backend=backend,
         )
         dbasis, enum_report = enumerate_states(
             cluster, spec.basis, use_weight_shortcut=True
@@ -401,6 +408,15 @@ def main(argv: list[str] | None = None) -> None:
         "cluster; requires a 'cluster' section in the input",
     )
     parser.add_argument(
+        "--backend",
+        choices=("sim", "threads"),
+        default=None,
+        help="execution backend for the distributed run: 'sim' "
+        "(discrete-event simulator, modelled timings; the default) or "
+        "'threads' (real parallel workers, wall-clock timings; see "
+        "docs/BACKENDS.md); requires a 'cluster' section in the input",
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="DIR",
         default=None,
@@ -462,6 +478,12 @@ def main(argv: list[str] | None = None) -> None:
         spec.cluster_options["faults"] = json.loads(
             Path(args.faults).read_text()
         )
+    if args.backend is not None:
+        if not spec.distributed:
+            raise ReproError(
+                "--backend requires a 'cluster' section in the input file"
+            )
+        spec.cluster_options["backend"] = args.backend
     if args.resume and args.checkpoint is None and not (
         spec.solver_options.get("checkpoint") or {}
     ).get("dir"):

@@ -16,9 +16,19 @@ overhead + search + accumulate) on the shared core pool.  Production and
 consumption share cores, so their busy times add; communication overlaps
 compute (Chapel tasks yield while blocked on comm), so the elapsed time per
 locale is ``max(compute busy, NIC busy)``.
+
+Structure mirrors :mod:`repro.distributed.matvec_naive`: the data phase
+(one task per chunk: generate + partition + scatter-accumulate) runs
+through :meth:`~repro.runtime.executor.Executor.map` — in order on the
+``sim`` backend, concurrently on ``threads`` with a per-destination lock
+around the shared ``y`` accumulate — and the accounting phase replays the
+per-chunk summaries on the calling thread in the original order, keeping
+simulated numbers bit-identical to the pre-executor inline loop.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -32,10 +42,11 @@ from repro.distributed.matvec_common import (
     wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
-from repro.errors import FaultError
+from repro.errors import BackendError, FaultError
 from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
+from repro.runtime.executor import get_executor
 from repro.telemetry.context import current as current_telemetry
 from repro.telemetry.jobs import attribute_report
 
@@ -68,7 +79,8 @@ def matvec_batched(
     stretch per-locale compute; a crash before the simulated finish
     raises :class:`~repro.errors.FaultError` (this variant is the
     fallback target of the producer-consumer pipeline, so its recovery
-    semantics must be total short of a crash).
+    semantics must be total short of a crash).  The fault model is
+    defined in simulated time, so it is sim-only.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -81,8 +93,15 @@ def matvec_batched(
     metrics = tele.metrics
     metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
+    backend = getattr(basis.cluster, "backend", "sim")
 
     resilient = faults is not None or resilience is not None
+    if resilient and backend != "sim":
+        raise BackendError(
+            "faults/resilience are sim-only for now: the recovery cost "
+            "model is defined in simulated time; run it on a backend='sim' "
+            "cluster (see docs/BACKENDS.md)"
+        )
     if resilient and resilience is None:
         resilience = ResilienceConfig()
     crashes = faults.take_crashes() if faults is not None else {}
@@ -90,6 +109,8 @@ def matvec_batched(
     extra_compute = np.zeros(n)  # checksums + duplicate-discard spawns
     retry_wait = np.zeros(n)  # serialized detection-timeout windows
 
+    ex = get_executor(basis.cluster, trace=trace)
+    wall_start = time.perf_counter()
     apply_diagonal(op, basis, x, y)
     compute_busy = np.zeros(n)  # generation + partition + consumption
     nic_out = np.zeros(n)
@@ -102,82 +123,114 @@ def matvec_batched(
             machine.t_axpy, int(basis.counts[locale]) * k
         )
 
-    for locale in range(n):
-        count = int(basis.counts[locale])
-        for start in range(0, count, batch_size):
-            stop = min(start + batch_size, count)
-            chunk = produce_chunk(
-                op, basis, locale, start, stop, x.parts[locale], plan
+    # -- data phase ---------------------------------------------------------
+    consume_locks = [ex.lock() for _ in range(n)]
+    chunks = [
+        (locale, start, min(start + batch_size, int(basis.counts[locale])))
+        for locale in range(n)
+        for start in range(0, int(basis.counts[locale]), batch_size)
+    ]
+
+    def run_chunk(locale: int, start: int, stop: int):
+        t0 = time.perf_counter()
+        chunk = produce_chunk(
+            op, basis, locale, start, stop, x.parts[locale], plan
+        )
+        sizes = []
+        for dest in range(n):
+            betas, values = chunk.slice_for(dest)
+            if betas.size:
+                with consume_locks[dest]:
+                    consume(
+                        basis, dest, y.parts[dest], betas, values,
+                        chunk.rows_for(dest),
+                    )
+            sizes.append(int(betas.size))
+        return (
+            locale,
+            chunk.n_emitted,
+            int(chunk.betas.size),
+            sizes,
+            time.perf_counter() - t0,
+        )
+
+    summaries = ex.map(
+        [lambda a=c: run_chunk(*a) for c in chunks],
+        locales=[c[0] for c in chunks],
+    )
+
+    # -- accounting phase ---------------------------------------------------
+    # Original (locale, chunk, dest) order: metric increments and the
+    # seeded RNG draws of ``faults.message_fate`` replay in exactly the
+    # sequence of the pre-executor inline loop.
+    task_wall = np.zeros(n)
+    for locale, n_emitted, total_size, sizes, wall in summaries:
+        task_wall[locale] += wall
+        gen = machine.compute_time(machine.t_generate, n_emitted)
+        part = machine.compute_time(
+            machine.t_partition + machine.t_hash, total_size
+        ) + extra_column_time(machine, total_size, k)
+        compute_busy[locale] += gen + part
+        ledger.add("generate", locale, gen + part)
+        for dest, size in enumerate(sizes):
+            if size == 0:
+                continue
+            nbytes = wire_bytes(size, k)
+            report.messages += 1
+            report.bytes_sent += nbytes
+            metrics.counter("matvec.messages", src=locale, dst=dest).inc()
+            metrics.counter(
+                "matvec.bytes", src=locale, dst=dest
+            ).inc(nbytes)
+            metrics.histogram("matvec.buffer_elements").observe(size)
+            pin = nbytes / PIN_BANDWIDTH  # fresh buffer every time
+            pair_bytes[locale, dest] += nbytes
+            pair_msgs[locale, dest] += 1
+            if resilient and resilience.checksums:
+                crc = machine.checksum_time(nbytes)
+                extra_compute[locale] += crc
+                extra_compute[dest] += crc
+            if dest == locale:
+                compute_busy[locale] += machine.memcpy_time(nbytes) + pin
+            else:
+                cost = net.transfer_time(nbytes) + pin
+                nic_out[locale] += cost
+                nic_in[dest] += cost
+                pair_time[locale, dest] += cost
+                if faults is not None:
+                    fate = faults.message_fate(locale, dest)
+                    if fate.drop or fate.corrupt:
+                        # Detection timeout, then pay the put again.
+                        retry_wait[locale] += resilience.ack_timeout
+                        extra_nic[locale] += cost
+                        extra_nic[dest] += cost
+                        report.messages += 1
+                        report.bytes_sent += nbytes
+                        metrics.counter(
+                            "recovery.retransmits", src=locale, dst=dest
+                        ).inc()
+                        if fate.corrupt:
+                            metrics.counter(
+                                "recovery.checksum_rejects",
+                                src=locale, dst=dest,
+                            ).inc()
+                    if fate.duplicate:
+                        extra_compute[dest] += machine.compute_time(
+                            machine.task_spawn_overhead, 1
+                        )
+                        metrics.counter(
+                            "recovery.duplicates_discarded"
+                        ).inc()
+                    extra_nic[locale] += fate.extra_delay
+                    extra_nic[dest] += fate.extra_delay
+            spawn_and_search = (
+                machine.compute_time(machine.t_search_accum, size)
+                + machine.compute_time(machine.task_spawn_overhead, 1)
+                + extra_column_time(machine, size, k)
             )
-            gen = machine.compute_time(machine.t_generate, chunk.n_emitted)
-            part = machine.compute_time(
-                machine.t_partition + machine.t_hash, chunk.betas.size
-            ) + extra_column_time(machine, chunk.betas.size, k)
-            compute_busy[locale] += gen + part
-            ledger.add("generate", locale, gen + part)
-            for dest in range(n):
-                betas, values = chunk.slice_for(dest)
-                if betas.size == 0:
-                    continue
-                consume(
-                    basis, dest, y.parts[dest], betas, values,
-                    chunk.rows_for(dest),
-                )
-                nbytes = wire_bytes(betas.size, k)
-                report.messages += 1
-                report.bytes_sent += nbytes
-                metrics.counter("matvec.messages", src=locale, dst=dest).inc()
-                metrics.counter(
-                    "matvec.bytes", src=locale, dst=dest
-                ).inc(nbytes)
-                metrics.histogram("matvec.buffer_elements").observe(betas.size)
-                pin = nbytes / PIN_BANDWIDTH  # fresh buffer every time
-                pair_bytes[locale, dest] += nbytes
-                pair_msgs[locale, dest] += 1
-                if resilient and resilience.checksums:
-                    crc = machine.checksum_time(nbytes)
-                    extra_compute[locale] += crc
-                    extra_compute[dest] += crc
-                if dest == locale:
-                    compute_busy[locale] += machine.memcpy_time(nbytes) + pin
-                else:
-                    cost = net.transfer_time(nbytes) + pin
-                    nic_out[locale] += cost
-                    nic_in[dest] += cost
-                    pair_time[locale, dest] += cost
-                    if faults is not None:
-                        fate = faults.message_fate(locale, dest)
-                        if fate.drop or fate.corrupt:
-                            # Detection timeout, then pay the put again.
-                            retry_wait[locale] += resilience.ack_timeout
-                            extra_nic[locale] += cost
-                            extra_nic[dest] += cost
-                            report.messages += 1
-                            report.bytes_sent += nbytes
-                            metrics.counter(
-                                "recovery.retransmits", src=locale, dst=dest
-                            ).inc()
-                            if fate.corrupt:
-                                metrics.counter(
-                                    "recovery.checksum_rejects",
-                                    src=locale, dst=dest,
-                                ).inc()
-                        if fate.duplicate:
-                            extra_compute[dest] += machine.compute_time(
-                                machine.task_spawn_overhead, 1
-                            )
-                            metrics.counter(
-                                "recovery.duplicates_discarded"
-                            ).inc()
-                        extra_nic[locale] += fate.extra_delay
-                        extra_nic[dest] += fate.extra_delay
-                spawn_and_search = (
-                    machine.compute_time(machine.t_search_accum, betas.size)
-                    + machine.compute_time(machine.task_spawn_overhead, 1)
-                    + extra_column_time(machine, betas.size, k)
-                )
-                compute_busy[dest] += spawn_and_search
-                ledger.add("consume", dest, spawn_and_search)
+            compute_busy[dest] += spawn_and_search
+            ledger.add("consume", dest, spawn_and_search)
+    data_wall = time.perf_counter() - wall_start
 
     slow = (
         np.array([faults.slowdown(locale) for locale in range(n)])
@@ -202,40 +255,56 @@ def matvec_batched(
         straggler_extra = float(compute_busy[locale] * (slow[locale] - 1.0))
         if straggler_extra > 0.0:
             ledger.add("straggler", locale, straggler_extra)
-    report.elapsed = float(per_locale.max()) if n else 0.0
+    model_elapsed = float(per_locale.max()) if n else 0.0
+    report.elapsed = data_wall if ex.wall_clock else model_elapsed
+    if ex.wall_clock:
+        report.extras["model_seconds"] = model_elapsed
     report.merge_phase("matvec", report.elapsed)
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
     if trace is not None:
-        # Chapel tasks yield while blocked on communication, so the cost
-        # model lets the NIC time overlap the compute time; the trace
-        # mirrors that with a busy compute span on the worker track and the
-        # per-destination puts serialized on the NIC track alongside it.
-        for locale in range(n):
-            process = f"locale{locale}"
-            if compute_busy[locale] > 0.0:
-                trace.complete(
-                    (process, "worker0"), "compute", 0.0, compute_busy[locale]
-                )
-            t = 0.0
-            for dest in range(n):
-                if pair_msgs[locale, dest] == 0:
-                    continue
-                duration = float(pair_time[locale, dest])
-                trace.complete(
-                    (process, "net"),
-                    "send",
-                    t,
-                    duration,
-                    {
-                        "src": locale,
-                        "dst": dest,
-                        "bytes": int(pair_bytes[locale, dest]),
-                        "msgs": int(pair_msgs[locale, dest]),
-                    },
-                )
-                t += duration
-        trace.advance(report.elapsed)
+        if ex.wall_clock:
+            for locale in range(n):
+                if task_wall[locale] > 0.0:
+                    trace.complete(
+                        (f"locale{locale}", "worker0"),
+                        "matvec",
+                        0.0,
+                        float(task_wall[locale]),
+                    )
+            trace.advance(report.elapsed)
+        else:
+            # Chapel tasks yield while blocked on communication, so the cost
+            # model lets the NIC time overlap the compute time; the trace
+            # mirrors that with a busy compute span on the worker track and
+            # the per-destination puts serialized on the NIC track alongside
+            # it.
+            for locale in range(n):
+                process = f"locale{locale}"
+                if compute_busy[locale] > 0.0:
+                    trace.complete(
+                        (process, "worker0"), "compute", 0.0,
+                        compute_busy[locale],
+                    )
+                t = 0.0
+                for dest in range(n):
+                    if pair_msgs[locale, dest] == 0:
+                        continue
+                    duration = float(pair_time[locale, dest])
+                    trace.complete(
+                        (process, "net"),
+                        "send",
+                        t,
+                        duration,
+                        {
+                            "src": locale,
+                            "dst": dest,
+                            "bytes": int(pair_bytes[locale, dest]),
+                            "msgs": int(pair_msgs[locale, dest]),
+                        },
+                    )
+                    t += duration
+            trace.advance(report.elapsed)
     if resilient:
         report.extras["resilient"] = 1.0
     if crashes:
@@ -247,7 +316,9 @@ def matvec_batched(
                 f"locale {victim} crashed at t={at:.3g} before the batched "
                 f"matvec finished (t={report.elapsed:.3g})"
             )
-    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    metrics.counter(
+        "wall.seconds" if ex.wall_clock else "sim.seconds", phase="matvec"
+    ).inc(report.elapsed)
     attribute_report(report, "matvec.batched", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()

@@ -7,9 +7,21 @@ transposed push formulation (information flows one way), so the result is
 exact — but the cost model charges a task-spawn overhead and a tiny message
 for every element, which is why this version cannot scale and the paper
 immediately refines it.  Kept as the ablation baseline.
+
+Structure: the *data phase* (row generation + scatter-accumulate, the only
+part that moves real bytes) runs as one task per chunk through
+:meth:`~repro.runtime.executor.Executor.map` — sequential and in order on
+the ``sim`` backend, concurrently on ``threads`` with a per-destination
+lock around the shared ``y`` accumulate.  The *accounting phase* then
+replays the returned per-chunk summaries on the calling thread in the
+original (locale, chunk, destination) order, so every metric, ledger
+entry, and fault-RNG draw happens in exactly the sequence the old inline
+loop produced — simulated numbers are bit-identical.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
@@ -23,10 +35,11 @@ from repro.distributed.matvec_common import (
     wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
-from repro.errors import FaultError
+from repro.errors import BackendError, FaultError
 from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
+from repro.runtime.executor import get_executor
 from repro.telemetry.context import current as current_telemetry
 from repro.telemetry.jobs import attribute_report
 
@@ -57,7 +70,8 @@ def matvec_naive(
     checksums pay CRC32 time on both ends, stragglers stretch the slow
     locale's compute, and a crash before the simulated finish raises
     :class:`~repro.errors.FaultError`.  The *data* path is unaffected —
-    recovery always converges here, so the result stays exact.
+    recovery always converges here, so the result stays exact.  The fault
+    model is defined in simulated time, so it is sim-only.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -70,8 +84,15 @@ def matvec_naive(
     metrics = tele.metrics
     metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
+    backend = getattr(basis.cluster, "backend", "sim")
 
     resilient = faults is not None or resilience is not None
+    if resilient and backend != "sim":
+        raise BackendError(
+            "faults/resilience are sim-only for now: the recovery cost "
+            "model is defined in simulated time; run it on a backend='sim' "
+            "cluster (see docs/BACKENDS.md)"
+        )
     if resilient and resilience is None:
         resilience = ResilienceConfig()
     crashes = faults.take_crashes() if faults is not None else {}
@@ -79,6 +100,8 @@ def matvec_naive(
     extra_compute = np.zeros(n)  # checksums + duplicate-discard spawns
     retry_wait = np.zeros(n)  # serialized detection-timeout windows
 
+    ex = get_executor(basis.cluster, trace=trace)
+    wall_start = time.perf_counter()
     n_diag = apply_diagonal(op, basis, x, y)
     for locale in range(n):
         ledger.add(
@@ -94,70 +117,105 @@ def matvec_naive(
     incoming_elements = np.zeros(n, dtype=np.int64)
     outgoing_elements = np.zeros(n, dtype=np.int64)
     pair_elements = np.zeros((n, n), dtype=np.int64)
-    for locale in range(n):
-        count = int(basis.counts[locale])
-        for start in range(0, count, batch_size):
-            stop = min(start + batch_size, count)
-            chunk = produce_chunk(
-                op, basis, locale, start, stop, x.parts[locale], plan
-            )
-            generate_time[locale] += machine.compute_time(
-                machine.t_generate, chunk.n_emitted
-            ) + extra_column_time(machine, chunk.betas.size, k)
-            for dest in range(n):
-                betas, values = chunk.slice_for(dest)
-                if betas.size == 0:
-                    continue
-                consume(
-                    basis, dest, y.parts[dest], betas, values,
-                    chunk.rows_for(dest),
-                )
-                outgoing_elements[locale] += betas.size
-                incoming_elements[dest] += betas.size
-                pair_elements[locale, dest] += betas.size
-                report.messages += betas.size
-                report.bytes_sent += wire_bytes(betas.size, k)
-                metrics.counter(
-                    "matvec.messages", src=locale, dst=dest
-                ).inc(betas.size)
-                metrics.counter(
-                    "matvec.bytes", src=locale, dst=dest
-                ).inc(wire_bytes(betas.size, k))
-                if resilient and resilience.checksums:
-                    crc = machine.compute_time(
-                        machine.checksum_time(element_bytes), betas.size
+
+    # -- data phase ---------------------------------------------------------
+    consume_locks = [ex.lock() for _ in range(n)]
+    chunks = [
+        (locale, start, min(start + batch_size, int(basis.counts[locale])))
+        for locale in range(n)
+        for start in range(0, int(basis.counts[locale]), batch_size)
+    ]
+
+    def run_chunk(locale: int, start: int, stop: int):
+        t0 = time.perf_counter()
+        chunk = produce_chunk(
+            op, basis, locale, start, stop, x.parts[locale], plan
+        )
+        sizes = []
+        for dest in range(n):
+            betas, values = chunk.slice_for(dest)
+            if betas.size:
+                with consume_locks[dest]:
+                    consume(
+                        basis, dest, y.parts[dest], betas, values,
+                        chunk.rows_for(dest),
                     )
-                    extra_compute[locale] += crc
-                    extra_compute[dest] += crc
-                if faults is not None and dest != locale:
-                    fates = faults.message_fates(locale, dest, betas.size)
-                    retrans = fates.drops + fates.corrupts
-                    if retrans:
-                        # Lost/rejected elements wait out one (overlapped)
-                        # detection timeout, then retransmit through the NIC.
-                        retry_wait[locale] += resilience.ack_timeout
-                        penalty = retrans * net.transfer_time(element_bytes)
-                        extra_nic[locale] += penalty
-                        extra_nic[dest] += penalty
-                        report.messages += retrans
-                        report.bytes_sent += wire_bytes(retrans, k)
+            sizes.append(int(betas.size))
+        return (
+            locale,
+            chunk.n_emitted,
+            int(chunk.betas.size),
+            sizes,
+            time.perf_counter() - t0,
+        )
+
+    summaries = ex.map(
+        [lambda a=c: run_chunk(*a) for c in chunks],
+        locales=[c[0] for c in chunks],
+    )
+
+    # -- accounting phase ---------------------------------------------------
+    # Replayed on the calling thread in the original (locale, chunk, dest)
+    # order: the metric increments and — crucially — the seeded RNG draws of
+    # ``faults.message_fates`` happen in exactly the sequence the inline
+    # loop produced, so simulated numbers do not depend on the backend's
+    # completion order.
+    task_wall = np.zeros(n)
+    for locale, n_emitted, total_size, sizes, wall in summaries:
+        task_wall[locale] += wall
+        generate_time[locale] += machine.compute_time(
+            machine.t_generate, n_emitted
+        ) + extra_column_time(machine, total_size, k)
+        for dest, size in enumerate(sizes):
+            if size == 0:
+                continue
+            outgoing_elements[locale] += size
+            incoming_elements[dest] += size
+            pair_elements[locale, dest] += size
+            report.messages += size
+            report.bytes_sent += wire_bytes(size, k)
+            metrics.counter(
+                "matvec.messages", src=locale, dst=dest
+            ).inc(size)
+            metrics.counter(
+                "matvec.bytes", src=locale, dst=dest
+            ).inc(wire_bytes(size, k))
+            if resilient and resilience.checksums:
+                crc = machine.compute_time(
+                    machine.checksum_time(element_bytes), size
+                )
+                extra_compute[locale] += crc
+                extra_compute[dest] += crc
+            if faults is not None and dest != locale:
+                fates = faults.message_fates(locale, dest, size)
+                retrans = fates.drops + fates.corrupts
+                if retrans:
+                    # Lost/rejected elements wait out one (overlapped)
+                    # detection timeout, then retransmit through the NIC.
+                    retry_wait[locale] += resilience.ack_timeout
+                    penalty = retrans * net.transfer_time(element_bytes)
+                    extra_nic[locale] += penalty
+                    extra_nic[dest] += penalty
+                    report.messages += retrans
+                    report.bytes_sent += wire_bytes(retrans, k)
+                    metrics.counter(
+                        "recovery.retransmits", src=locale, dst=dest
+                    ).inc(retrans)
+                    if fates.corrupts:
                         metrics.counter(
-                            "recovery.retransmits", src=locale, dst=dest
-                        ).inc(retrans)
-                        if fates.corrupts:
-                            metrics.counter(
-                                "recovery.checksum_rejects",
-                                src=locale, dst=dest,
-                            ).inc(fates.corrupts)
-                    if fates.duplicates:
-                        extra_compute[dest] += machine.compute_time(
-                            machine.task_spawn_overhead, fates.duplicates
-                        )
-                        metrics.counter(
-                            "recovery.duplicates_discarded"
-                        ).inc(fates.duplicates)
-                    extra_nic[locale] += fates.extra_delay
-                    extra_nic[dest] += fates.extra_delay
+                            "recovery.checksum_rejects",
+                            src=locale, dst=dest,
+                        ).inc(fates.corrupts)
+                if fates.duplicates:
+                    extra_compute[dest] += machine.compute_time(
+                        machine.task_spawn_overhead, fates.duplicates
+                    )
+                    metrics.counter(
+                        "recovery.duplicates_discarded"
+                    ).inc(fates.duplicates)
+                extra_nic[locale] += fates.extra_delay
+                extra_nic[dest] += fates.extra_delay
+    data_wall = time.perf_counter() - wall_start
 
     # Simulated cost: producers generate in parallel over cores; every
     # element then pays a remote task spawn plus a 16-byte message; the
@@ -191,7 +249,7 @@ def matvec_naive(
             ledger.add("recovery", locale, extra_compute[locale] + retry_wait[locale])
         if straggler_extra > 0.0:
             ledger.add("straggler", locale, straggler_extra)
-        if trace is not None:
+        if trace is not None and not ex.wall_clock:
             # The naive variant is effectively serialized per locale:
             # generate everything, then drain the per-element sends through
             # the NIC, then run the spawned remote tasks.  Spans mirror that
@@ -230,10 +288,25 @@ def matvec_naive(
                     (process, "worker0"), "remote-tasks", t, task_time
                 )
             trace_end = max(trace_end, t + task_time)
-    report.elapsed = float(per_locale.max()) if n else 0.0
+    model_elapsed = float(per_locale.max()) if n else 0.0
+    if ex.wall_clock:
+        report.elapsed = data_wall
+        report.extras["model_seconds"] = model_elapsed
+        if trace is not None:
+            for locale in range(n):
+                if task_wall[locale] > 0.0:
+                    trace.complete(
+                        (f"locale{locale}", "worker0"),
+                        "matvec",
+                        0.0,
+                        float(task_wall[locale]),
+                    )
+            trace.advance(report.elapsed)
+    else:
+        report.elapsed = model_elapsed
+        if trace is not None:
+            trace.advance(max(report.elapsed, trace_end))
     report.merge_phase("matvec", report.elapsed)
-    if trace is not None:
-        trace.advance(max(report.elapsed, trace_end))
     report.extras["n_diag"] = float(n_diag)
     report.extras["elements"] = float(outgoing_elements.sum())
     report.extras["block_width"] = float(k)
@@ -249,7 +322,9 @@ def matvec_naive(
                 f"locale {victim} crashed at t={at:.3g} before the naive "
                 f"matvec finished (t={report.elapsed:.3g})"
             )
-    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    metrics.counter(
+        "wall.seconds" if ex.wall_clock else "sim.seconds", phase="matvec"
+    ).inc(report.elapsed)
     attribute_report(report, "matvec.naive", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()

@@ -1,7 +1,19 @@
 """The producer-consumer matrix-vector product (Sec. 5.3, Fig. 5).
 
-This is the paper's headline algorithm, run here as a discrete-event
-simulation that moves real data:
+This is the paper's headline algorithm, written once as generator
+processes over the executor abstraction of
+:mod:`repro.runtime.executor` and run on whichever backend the cluster
+selects:
+
+- ``backend="sim"`` (default): the discrete-event simulation that moves
+  real data while charging modelled time — byte-for-byte the original
+  protocol with identical simulated timings;
+- ``backend="threads"``: every producer/consumer is a real OS thread,
+  the NumPy kernels between yields release the GIL and genuinely
+  overlap, and the report carries wall-clock seconds instead of
+  simulated ones.
+
+The protocol itself is backend-independent:
 
 - on every locale, the core pool is split into *producers* and *consumers*
   (the paper uses 104/24 of 128 cores);
@@ -39,12 +51,15 @@ latter).  An exhausted retry budget raises a typed
 :class:`~repro.errors.DeadlockError` (also a ``FaultError``) from the
 simulator watchdog — the run never hangs and never returns silently wrong
 amplitudes.  The default (no faults, no resilience) path is byte-for-byte
-the original protocol with identical simulated timings.
+the original protocol with identical simulated timings.  Faults are
+defined in simulated time, so the self-healing pipeline is sim-only: on
+``backend="threads"`` a faults/resilience request raises a typed
+:class:`~repro.errors.BackendError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
 
 import numpy as np
 
@@ -59,11 +74,12 @@ from repro.distributed.matvec_common import (
     wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
-from repro.errors import FaultError
+from repro.errors import BackendError, FaultError
 from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
-from repro.runtime.events import Pop, Simulator, Timeout, WaitFlag, Acquire
+from repro.runtime.events import Acquire, Pop, Timeout, WaitFlag
+from repro.runtime.executor import Executor, SimExecutor, get_executor
 from repro.telemetry.context import current as current_telemetry
 from repro.telemetry.jobs import attribute_report
 
@@ -94,23 +110,13 @@ class RemoteBuffer:
 
     __slots__ = ("src", "dest", "is_full_local", "betas", "values", "rows")
 
-    def __init__(self, sim: Simulator, src: int, dest: int) -> None:
+    def __init__(self, ex: Executor, src: int, dest: int) -> None:
         self.src = src
         self.dest = dest
-        self.is_full_local = sim.flag(False)
+        self.is_full_local = ex.flag(False)
         self.betas: np.ndarray | None = None
         self.values: np.ndarray | None = None
         self.rows: np.ndarray | None = None
-
-
-@dataclass
-class _SharedState:
-    producers_remaining: int
-    inflight: int = 0
-    consumer_counts: dict[int, int] = field(default_factory=dict)
-    producers_done_flag: object = None
-    stall_time: float = 0.0
-    next_chunk: dict[int, int] = field(default_factory=dict)
 
 
 def matvec_producer_consumer(
@@ -133,12 +139,14 @@ def matvec_producer_consumer(
     ``producers_per_locale`` / ``consumers_per_locale`` override the
     ``consumer_fraction`` split (they are capped at sensible values for the
     Python simulation — what matters for the timing model is the *ratio*
-    and the per-core rates, both of which are preserved).
+    and the per-core rates, both of which are preserved).  On the real
+    ``threads`` backend they are literal thread counts (default one
+    producer and one consumer thread per locale).
 
     ``faults`` / ``resilience`` activate the self-healing protocol (see
     the module docstring); either one alone suffices (a bare
     ``resilience=ResilienceConfig()`` measures the fault-free overhead of
-    sequence numbers + checksums).
+    sequence numbers + checksums).  Sim-only.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -150,8 +158,16 @@ def matvec_producer_consumer(
     metrics = tele.metrics
     metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
+    backend = getattr(basis.cluster, "backend", "sim")
+    wall_clock = backend == "threads"
 
     resilient = faults is not None or resilience is not None
+    if resilient and backend != "sim":
+        raise BackendError(
+            "faults/resilience are sim-only for now: the self-healing "
+            "pipeline is defined in simulated time; run it on a "
+            "backend='sim' cluster (see docs/BACKENDS.md)"
+        )
     if resilient and resilience is None:
         resilience = ResilienceConfig()
     if (
@@ -175,7 +191,9 @@ def matvec_producer_consumer(
                     f"locale {locale} crashed at t={crashes[locale]:.3g} "
                     "during the shared-memory matvec"
                 )
-        return _shared_memory_matvec(op, basis, x, y, batch_size, report, plan)
+        return _shared_memory_matvec(
+            op, basis, x, y, batch_size, report, plan, wall_clock=wall_clock
+        )
 
     if resilient:
         return _resilient_pipeline(
@@ -195,19 +213,33 @@ def matvec_producer_consumer(
             trace=trace,
         )
 
+    ex = get_executor(basis.cluster, trace=trace)
     cores = machine.cores_per_locale
     if producers_per_locale is None or consumers_per_locale is None:
         n_prod, n_cons = split_cores(cores, consumer_fraction)
     else:
         n_prod, n_cons = producers_per_locale, consumers_per_locale
-    # The Python DES cannot afford hundreds of generator processes per
-    # locale; simulate a smaller number of "representative" workers whose
-    # per-element rates are scaled so each stands for real_cores/sim_workers
-    # physical cores.  The pipeline structure (buffers, flags, stalls) is
-    # unchanged.
-    max_workers = 8
-    sim_prod = min(n_prod, max_workers)
-    sim_cons = min(n_cons, max_workers)
+    if ex.wall_clock:
+        # Real workers: one producer and one consumer thread per locale
+        # unless explicitly overridden.  No representative-worker rate
+        # scaling — each thread is a physical worker and its spans are
+        # stamped from the wall clock, not the machine model.
+        sim_prod = (
+            producers_per_locale if producers_per_locale is not None else 1
+        )
+        sim_cons = (
+            consumers_per_locale if consumers_per_locale is not None else 1
+        )
+        n_prod, n_cons = sim_prod, sim_cons
+    else:
+        # The Python DES cannot afford hundreds of generator processes per
+        # locale; simulate a smaller number of "representative" workers
+        # whose per-element rates are scaled so each stands for
+        # real_cores/sim_workers physical cores.  The pipeline structure
+        # (buffers, flags, stalls) is unchanged.
+        max_workers = 8
+        sim_prod = min(n_prod, max_workers)
+        sim_cons = min(n_cons, max_workers)
     # Each simulated producer stands for n_prod/sim_prod physical cores, so
     # its per-element time shrinks accordingly (same for consumers).
     t_generate = machine.t_generate * sim_prod / n_prod
@@ -219,25 +251,31 @@ def matvec_producer_consumer(
     t_cols_cons = machine.t_axpy * (k - 1) * sim_cons / n_cons
 
     net = machine.network
-    sim = Simulator(trace=trace)
-    nic = [sim.resource(1, name=f"nic{locale}") for locale in range(n)]
-    ready: list = [sim.queue(name=f"ready{locale}") for locale in range(n)]
-    state = _SharedState(producers_remaining=n * sim_prod)
-    state.producers_done_flag = sim.flag(False)
-    drained = sim.flag(False)
-    state.consumer_counts = {locale: sim_cons for locale in range(n)}
+    nic = [ex.resource(1, name=f"nic{locale}") for locale in range(n)]
+    ready: list = [ex.queue(name=f"ready{locale}") for locale in range(n)]
+    producers_remaining = ex.counter(n * sim_prod)
+    inflight = ex.counter(0)
+    stall_total = ex.counter(0.0)
+    producers_done_flag = ex.flag(False)
+    drained = ex.flag(False)
+    consumer_counts = {locale: ex.counter(sim_cons) for locale in range(n)}
+    # One lock per destination locale guards the shared scatter-add into
+    # y.parts[dest] on the threads backend (no-op contexts on sim).
+    consume_locks = [ex.lock() for _ in range(n)]
 
-    # Chunk lists per locale.
+    # Chunk lists per locale; the cursor counters hand out chunk indices
+    # atomically on both backends.
     chunk_lists: dict[int, list[tuple[int, int]]] = {}
+    chunk_cursor: dict[int, object] = {}
     for locale in range(n):
         count = int(basis.counts[locale])
         chunk_lists[locale] = [
             (s, min(s + batch_size, count)) for s in range(0, count, batch_size)
         ]
-        state.next_chunk[locale] = 0
+        chunk_cursor[locale] = ex.counter(0)
 
     def check_drained() -> None:
-        if state.producers_remaining == 0 and state.inflight == 0:
+        if producers_remaining.get() == 0 and inflight.get() == 0:
             drained.set(True)
 
     def consumer_body(locale: int):
@@ -248,31 +286,34 @@ def matvec_producer_consumer(
                 break
             betas, values, rows = rb.betas, rb.values, rb.rows
             dt = (t_search + t_cols_cons) * betas.size
-            busy += dt
+            before = ex.now
+            with consume_locks[locale]:
+                consume(basis, locale, y.parts[locale], betas, values, rows)
+            busy += (ex.now - before) if ex.wall_clock else dt
             yield Timeout(dt, "search+accum")
-            consume(basis, locale, y.parts[locale], betas, values, rows)
-            state.inflight -= 1
+            inflight.add(-1)
             # Clear the producer's local flag with a remote atomic write.
             if rb.src == locale:
                 rb.is_full_local.set(False)
             else:
-                sim.call_later(
+                ex.call_later(
                     net.remote_atomic_latency,
                     lambda flag=rb.is_full_local: flag.set(False),
                 )
             check_drained()
-        ledger.add("search+accum", locale, busy)
+        with ex.mutex:
+            ledger.add("search+accum", locale, busy)
 
     def producer_body(locale: int, producer_id: int):
-        buffers = [RemoteBuffer(sim, locale, d) for d in range(n)]
+        buffers = [RemoteBuffer(ex, locale, d) for d in range(n)]
         gen_busy = 0.0
         stall = 0.0
         while True:
-            c = state.next_chunk[locale]
+            c = chunk_cursor[locale].add(1) - 1
             if c >= len(chunk_lists[locale]):
                 break
-            state.next_chunk[locale] = c + 1
             start, stop = chunk_lists[locale][c]
+            gen_start = ex.now
             chunk = produce_chunk(
                 op, basis, locale, start, stop, x.parts[locale], plan
             )
@@ -280,8 +321,11 @@ def matvec_producer_consumer(
                 t_generate * chunk.n_emitted
                 + (t_partition + t_cols_prod) * chunk.betas.size
             )
-            gen_busy += dt
-            metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
+            gen_busy += (ex.now - gen_start) if ex.wall_clock else dt
+            with ex.mutex:
+                metrics.histogram("matvec.chunk_elements").observe(
+                    chunk.betas.size
+                )
             yield Timeout(dt, "generate")
             # Round-robin the destinations starting after ourselves so all
             # producers do not hammer locale 0 first.
@@ -298,30 +342,33 @@ def matvec_producer_consumer(
                         else rows_all[lo : lo + buffer_capacity]
                     )
                     rb = buffers[dest]
-                    before = sim.now
+                    before = ex.now
                     yield WaitFlag(rb.is_full_local, False)
-                    if sim.now > before:
-                        stall += sim.now - before
-                        metrics.histogram("matvec.stall_seconds").observe(
-                            sim.now - before
-                        )
+                    now = ex.now
+                    if now > before:
+                        stall += now - before
+                        with ex.mutex:
+                            metrics.histogram("matvec.stall_seconds").observe(
+                                now - before
+                            )
                     rb.is_full_local.set(True)
                     rb.betas = betas
                     rb.values = values
                     rb.rows = rows
                     nbytes = wire_bytes(betas.size, k)
-                    report.messages += 1
-                    report.bytes_sent += nbytes
-                    metrics.counter(
-                        "matvec.messages", src=locale, dst=dest
-                    ).inc()
-                    metrics.counter(
-                        "matvec.bytes", src=locale, dst=dest
-                    ).inc(nbytes)
-                    metrics.histogram("matvec.buffer_elements").observe(
-                        betas.size
-                    )
-                    state.inflight += 1
+                    with ex.mutex:
+                        report.messages += 1
+                        report.bytes_sent += nbytes
+                        metrics.counter(
+                            "matvec.messages", src=locale, dst=dest
+                        ).inc()
+                        metrics.counter(
+                            "matvec.bytes", src=locale, dst=dest
+                        ).inc(nbytes)
+                        metrics.histogram("matvec.buffer_elements").observe(
+                            betas.size
+                        )
+                    inflight.add(1)
                     comm_args = (
                         {"src": locale, "dst": dest, "bytes": nbytes, "msgs": 1}
                         if trace is not None
@@ -340,71 +387,86 @@ def matvec_producer_consumer(
                         nic[locale].release()
                         # The "buffer is full" notification is an active
                         # message handled by the runtime (fastOn).
-                        sim.call_later(
+                        ex.call_later(
                             net.remote_atomic_latency,
                             lambda q=ready[dest], b=rb: q.push(b),
                         )
-        ledger.add("generate", locale, gen_busy)
-        ledger.add("stall", locale, stall)
-        state.stall_time += stall
+        with ex.mutex:
+            ledger.add("generate", locale, gen_busy)
+            ledger.add("stall", locale, stall)
+        stall_total.add(stall)
         if work_stealing:
-            state.consumer_counts[locale] += 1
-        state.producers_remaining -= 1
-        if state.producers_remaining == 0:
-            state.producers_done_flag.set(True)
+            consumer_counts[locale].add(1)
+        if producers_remaining.add(-1) == 0:
+            producers_done_flag.set(True)
             check_drained()
         if work_stealing:
             yield from consumer_body(locale)
 
     def closer():
-        yield WaitFlag(state.producers_done_flag, True)
+        yield WaitFlag(producers_done_flag, True)
         yield WaitFlag(drained, True)
         for locale in range(n):
-            for _ in range(state.consumer_counts[locale]):
+            for _ in range(int(consumer_counts[locale].get())):
                 ready[locale].push(_SENTINEL)
 
     for locale in range(n):
         for p in range(sim_prod):
-            sim.spawn(
+            ex.spawn(
                 producer_body(locale, p),
                 name=f"prod-{locale}-{p}",
                 track=(f"locale{locale}", f"producer{p}"),
+                locale=locale,
             )
         for c in range(sim_cons):
-            sim.spawn(
+            ex.spawn(
                 consumer_body(locale),
                 name=f"cons-{locale}-{c}",
                 track=(f"locale{locale}", f"consumer{c}"),
+                locale=locale,
             )
-    sim.spawn(closer(), name="closer")
-    elapsed = sim.run()
+    ex.spawn(closer(), name="closer")
+    elapsed = ex.run()
 
     # Diagonal: local streaming work, overlapped here as a separate phase.
-    n_diag = apply_diagonal(op, basis, x, y)
-    diag_elapsed = max(
-        machine.compute_time(machine.t_axpy, int(c) * k) for c in basis.counts
-    )
-    if trace is not None:
-        for locale in range(n):
+    if ex.wall_clock:
+        diag_start = time.perf_counter()
+        n_diag = apply_diagonal(op, basis, x, y)
+        diag_elapsed = time.perf_counter() - diag_start
+        if trace is not None:
             trace.complete(
-                (f"locale{locale}", "diagonal"),
-                "diagonal",
-                elapsed,
-                machine.compute_time(
-                    machine.t_axpy, int(basis.counts[locale]) * k
-                ),
+                ("diagonal", "main"), "diagonal", elapsed, diag_elapsed
             )
-        trace.advance(elapsed + diag_elapsed)
+            trace.advance(elapsed + diag_elapsed)
+    else:
+        n_diag = apply_diagonal(op, basis, x, y)
+        diag_elapsed = max(
+            machine.compute_time(machine.t_axpy, int(c) * k)
+            for c in basis.counts
+        )
+        if trace is not None:
+            for locale in range(n):
+                trace.complete(
+                    (f"locale{locale}", "diagonal"),
+                    "diagonal",
+                    elapsed,
+                    machine.compute_time(
+                        machine.t_axpy, int(basis.counts[locale]) * k
+                    ),
+                )
+            trace.advance(elapsed + diag_elapsed)
     report.elapsed = elapsed + diag_elapsed
     report.merge_phase("pipeline", elapsed)
     report.merge_phase("diagonal", diag_elapsed)
-    report.extras["stall_time"] = state.stall_time
+    report.extras["stall_time"] = float(stall_total.get())
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
-    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    metrics.counter(
+        "wall.seconds" if ex.wall_clock else "sim.seconds", phase="matvec"
+    ).inc(report.elapsed)
     attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()
@@ -429,13 +491,13 @@ class ResilientBuffer:
         "betas", "values", "rows", "checksum", "payload",
     )
 
-    def __init__(self, sim: Simulator, src: int, dest: int) -> None:
+    def __init__(self, ex: Executor, src: int, dest: int) -> None:
         self.src = src
         self.dest = dest
         self.seq = 0
         self.acked_seq = 0
         self.consumed_seq = 0
-        self.ack_flag = sim.flag(False, name=f"ack[{src}->{dest}]")
+        self.ack_flag = ex.flag(False, name=f"ack[{src}->{dest}]")
         #: wire fields — what the consumer sees (possibly corrupted)
         self.betas: np.ndarray | None = None
         self.values: np.ndarray | None = None
@@ -465,7 +527,14 @@ def _resilient_pipeline(
     metrics,
     trace,
 ) -> tuple[DistributedVector, SimReport]:
-    """The self-healing producer-consumer pipeline (see module docstring)."""
+    """The self-healing producer-consumer pipeline (see module docstring).
+
+    Sim-only: injected faults (and the ARQ timers that heal them) are
+    defined in simulated time, so this always runs on a
+    :class:`~repro.runtime.executor.SimExecutor` regardless of the
+    cluster's configured backend (the caller rejects non-sim backends
+    with a :class:`~repro.errors.BackendError` before reaching here).
+    """
     machine = basis.cluster.machine
     n = basis.n_locales
     k = x.n_columns
@@ -489,20 +558,22 @@ def _resilient_pipeline(
     use_checksums = resilience.checksums
 
     net = machine.network
-    sim = Simulator(trace=trace, faults=faults)
-    nic = [sim.resource(1, name=f"nic{locale}") for locale in range(n)]
-    ready: list = [sim.queue(name=f"ready{locale}") for locale in range(n)]
-    state = _SharedState(producers_remaining=n * sim_prod)
-    state.producers_done_flag = sim.flag(False, name="producers_done")
-    state.consumer_counts = {locale: sim_cons for locale in range(n)}
+    ex = SimExecutor(trace=trace, faults=faults)
+    nic = [ex.resource(1, name=f"nic{locale}") for locale in range(n)]
+    ready: list = [ex.queue(name=f"ready{locale}") for locale in range(n)]
+    producers_remaining = ex.counter(n * sim_prod)
+    stall_total = ex.counter(0.0)
+    producers_done_flag = ex.flag(False, name="producers_done")
+    consumer_counts = {locale: ex.counter(sim_cons) for locale in range(n)}
 
     chunk_lists: dict[int, list[tuple[int, int]]] = {}
+    chunk_cursor: dict[int, object] = {}
     for locale in range(n):
         count = int(basis.counts[locale])
         chunk_lists[locale] = [
             (s, min(s + batch_size, count)) for s in range(0, count, batch_size)
         ]
-        state.next_chunk[locale] = 0
+        chunk_cursor[locale] = ex.counter(0)
 
     def slowdown(locale: int) -> float:
         return faults.slowdown(locale) if faults is not None else 1.0
@@ -562,14 +633,14 @@ def _resilient_pipeline(
                         b.acked_seq = max(b.acked_seq, s)
                         b.ack_flag.set(True)
 
-                    sim.call_later(delay, ack)
+                    ex.call_later(delay, ack)
                     if fate is not None and fate.duplicate:
-                        sim.call_later(delay, ack)
+                        ex.call_later(delay, ack)
         ledger.add("search+accum", locale, busy)
 
     def producer_body(locale: int, producer_id: int):
         slow = slowdown(locale)
-        buffers = [ResilientBuffer(sim, locale, d) for d in range(n)]
+        buffers = [ResilientBuffer(ex, locale, d) for d in range(n)]
         acct = {"generate": 0.0, "stall": 0.0}
 
         def transmit(rb: ResilientBuffer, retransmit: bool = False):
@@ -623,11 +694,11 @@ def _resilient_pipeline(
                     delay = net.remote_atomic_latency + (
                         fate.extra_delay if fate is not None else 0.0
                     )
-                    sim.call_later(
+                    ex.call_later(
                         delay, lambda q=ready[rb.dest], b=rb: q.push(b)
                     )
                     if fate is not None and fate.duplicate:
-                        sim.call_later(
+                        ex.call_later(
                             delay, lambda q=ready[rb.dest], b=rb: q.push(b)
                         )
 
@@ -636,7 +707,7 @@ def _resilient_pipeline(
                 return
             timeout = resilience.ack_timeout
             retries = 0
-            before = sim.now
+            before = ex.now
             while rb.acked_seq < rb.seq:
                 ok = yield WaitFlag(rb.ack_flag, True, timeout=timeout)
                 rb.ack_flag.set(False)
@@ -657,16 +728,15 @@ def _resilient_pipeline(
                     )
                 timeout *= resilience.backoff
                 yield from transmit(rb, retransmit=True)
-            if sim.now > before:
-                stalled = sim.now - before
+            if ex.now > before:
+                stalled = ex.now - before
                 acct["stall"] += stalled
                 metrics.histogram("matvec.stall_seconds").observe(stalled)
 
         while True:
-            c = state.next_chunk[locale]
+            c = chunk_cursor[locale].add(1) - 1
             if c >= len(chunk_lists[locale]):
                 break
-            state.next_chunk[locale] = c + 1
             start, stop = chunk_lists[locale][c]
             chunk = produce_chunk(
                 op, basis, locale, start, stop, x.parts[locale], plan
@@ -702,38 +772,37 @@ def _resilient_pipeline(
             yield from wait_acked(rb)
         ledger.add("generate", locale, acct["generate"])
         ledger.add("stall", locale, acct["stall"])
-        state.stall_time += acct["stall"]
+        stall_total.add(acct["stall"])
         if work_stealing:
-            state.consumer_counts[locale] += 1
-        state.producers_remaining -= 1
-        if state.producers_remaining == 0:
-            state.producers_done_flag.set(True)
+            consumer_counts[locale].add(1)
+        if producers_remaining.add(-1) == 0:
+            producers_done_flag.set(True)
         if work_stealing:
             yield from consumer_body(locale)
 
     def closer():
-        yield WaitFlag(state.producers_done_flag, True)
+        yield WaitFlag(producers_done_flag, True)
         for locale in range(n):
-            for _ in range(state.consumer_counts[locale]):
+            for _ in range(int(consumer_counts[locale].get())):
                 ready[locale].push(_SENTINEL)
 
     for locale in range(n):
         for p in range(sim_prod):
-            sim.spawn(
+            ex.spawn(
                 producer_body(locale, p),
                 name=f"prod-{locale}-{p}",
                 track=(f"locale{locale}", f"producer{p}"),
                 locale=locale,
             )
         for c in range(sim_cons):
-            sim.spawn(
+            ex.spawn(
                 consumer_body(locale),
                 name=f"cons-{locale}-{c}",
                 track=(f"locale{locale}", f"consumer{c}"),
                 locale=locale,
             )
-    sim.spawn(closer(), name="closer")
-    elapsed = sim.run()
+    ex.spawn(closer(), name="closer")
+    elapsed = ex.run()
 
     n_diag = apply_diagonal(op, basis, x, y)
     diag_elapsed = max(
@@ -753,7 +822,7 @@ def _resilient_pipeline(
     report.elapsed = elapsed + diag_elapsed
     report.merge_phase("pipeline", elapsed)
     report.merge_phase("diagonal", diag_elapsed)
-    report.extras["stall_time"] = state.stall_time
+    report.extras["stall_time"] = float(stall_total.get())
     report.extras["n_diag"] = float(n_diag)
     report.extras["producers"] = float(n_prod)
     report.extras["consumers"] = float(n_cons)
@@ -775,14 +844,23 @@ def _shared_memory_matvec(
     batch_size: int,
     report: SimReport,
     plan=None,
+    wall_clock: bool = False,
 ) -> tuple[DistributedVector, SimReport]:
-    """Single-locale mode: all cores generate and consume (no pipeline)."""
+    """Single-locale mode: all cores generate and consume (no pipeline).
+
+    ``wall_clock=True`` (the ``threads`` backend) reports the measured
+    wall-clock seconds of this — genuinely serial — execution instead of
+    the machine model's estimate; the model figure is kept under
+    ``extras["model_seconds"]``.  This is the serial reference the
+    multi-worker speedup bench compares against.
+    """
     machine = basis.cluster.machine
     k = x.n_columns
     tele = current_telemetry()
     metrics = tele.metrics
     metrics.gauge("matvec.block_width").set(float(k))
     trace = tele.trace if tele.trace.enabled else None
+    wall_start = time.perf_counter()
     apply_diagonal(op, basis, x, y)
     count = int(basis.counts[0])
     gen_work = 0.0
@@ -799,34 +877,46 @@ def _shared_memory_matvec(
         ) * chunk.betas.size
     cores = machine.cores_per_locale
     diag_work = machine.t_axpy * count * k
-    elapsed = (gen_work + search_work + diag_work) / cores
-    report.elapsed = elapsed
-    report.merge_phase("generate", gen_work / cores)
-    report.merge_phase("search+accum", search_work / cores)
-    report.merge_phase("diagonal", diag_work / cores)
+    model_elapsed = (gen_work + search_work + diag_work) / cores
+    if wall_clock:
+        elapsed = time.perf_counter() - wall_start
+        report.elapsed = elapsed
+        report.merge_phase("matvec", elapsed)
+        report.extras["model_seconds"] = model_elapsed
+        if trace is not None:
+            trace.complete(("locale0", "worker0"), "matvec", 0.0, elapsed)
+            trace.advance(elapsed)
+    else:
+        elapsed = model_elapsed
+        report.elapsed = elapsed
+        report.merge_phase("generate", gen_work / cores)
+        report.merge_phase("search+accum", search_work / cores)
+        report.merge_phase("diagonal", diag_work / cores)
+        if trace is not None:
+            # Sequential shared-memory phases on one worker track; the
+            # offset still advances by the full elapsed time so successive
+            # operations (e.g. warm plan replays that record few events)
+            # stay monotone on the global timeline.
+            track = ("locale0", "worker0")
+            t = 0.0
+            for name, work in (
+                ("generate", gen_work),
+                ("search+accum", search_work),
+                ("diagonal", diag_work),
+            ):
+                if work > 0.0:
+                    trace.complete(track, name, t, work / cores)
+                    t += work / cores
+            trace.advance(elapsed)
     report.ledger.add("generate", 0, gen_work)
     report.ledger.add("search+accum", 0, search_work)
     report.extras["producers"] = float(cores)
     report.extras["consumers"] = float(cores)
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = elapsed / k
-    if trace is not None:
-        # Sequential shared-memory phases on one worker track; the offset
-        # still advances by the full elapsed time so successive operations
-        # (e.g. warm plan replays that record few events) stay monotone on
-        # the global timeline.
-        track = ("locale0", "worker0")
-        t = 0.0
-        for name, work in (
-            ("generate", gen_work),
-            ("search+accum", search_work),
-            ("diagonal", diag_work),
-        ):
-            if work > 0.0:
-                trace.complete(track, name, t, work / cores)
-                t += work / cores
-        trace.advance(elapsed)
-    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    metrics.counter(
+        "wall.seconds" if wall_clock else "sim.seconds", phase="matvec"
+    ).inc(report.elapsed)
     attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()

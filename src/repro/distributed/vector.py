@@ -10,6 +10,8 @@ and the allreduce latency of the global reductions.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.basis.spin_basis import Basis
@@ -48,6 +50,10 @@ class DistributedVector:
                 )
         self.basis = basis
         self.parts = parts
+        #: ``multiprocessing.shared_memory`` segments backing ``parts``
+        #: (empty for ordinary heap-allocated vectors); see
+        #: :meth:`zeros_shared`.
+        self._segments: list = []
 
     # -- constructors -------------------------------------------------------
 
@@ -62,6 +68,92 @@ class DistributedVector:
             basis,
             [np.zeros(shape(int(c)), dtype=dtype) for c in basis.counts],
         )
+
+    @classmethod
+    def zeros_shared(
+        cls, basis: DistributedBasis, dtype=None, columns: int | None = None
+    ) -> "DistributedVector":
+        """An all-zero vector whose parts live in named shared memory.
+
+        Each locale part is backed by one
+        :class:`multiprocessing.shared_memory.SharedMemory` segment, so a
+        process-pool execution backend can attach the same physical pages
+        from worker processes (:meth:`shared_names` + :meth:`attach_shared`)
+        instead of pickling vector data through queues.  Inside one process
+        the vector behaves exactly like :meth:`zeros` — the thread backend
+        uses plain heap vectors and shares them for free.
+
+        The owner must call :meth:`close_shared` (optionally with
+        ``unlink=True`` to free the segments) when done; attached views
+        call it with ``unlink=False``.
+        """
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(basis.scalar_dtype if dtype is None else dtype)
+        parts = []
+        segments = []
+        for count in basis.counts:
+            shape = (
+                (int(count),) if columns is None else (int(count), columns)
+            )
+            nbytes = max(int(np.prod(shape)) * dtype.itemsize, 1)
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            part = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+            part[...] = 0
+            parts.append(part)
+            segments.append(seg)
+        vector = cls(basis, parts)
+        vector._segments = segments
+        return vector
+
+    @classmethod
+    def attach_shared(
+        cls,
+        basis: DistributedBasis,
+        names: list[str],
+        dtype,
+        columns: int | None = None,
+    ) -> "DistributedVector":
+        """Attach to the segments of a :meth:`zeros_shared` vector by name
+        (the cross-process half of the shared-memory protocol)."""
+        from multiprocessing import shared_memory
+
+        dtype = np.dtype(dtype)
+        parts = []
+        segments = []
+        for count, name in zip(basis.counts, names):
+            shape = (
+                (int(count),) if columns is None else (int(count), columns)
+            )
+            seg = shared_memory.SharedMemory(name=name)
+            parts.append(np.ndarray(shape, dtype=dtype, buffer=seg.buf))
+            segments.append(seg)
+        vector = cls(basis, parts)
+        vector._segments = segments
+        return vector
+
+    @property
+    def is_shared(self) -> bool:
+        """Whether the parts are backed by shared-memory segments."""
+        return bool(self._segments)
+
+    def shared_names(self) -> list[str]:
+        """The segment names to pass to :meth:`attach_shared` (empty for
+        ordinary vectors)."""
+        return [seg.name for seg in self._segments]
+
+    def close_shared(self, unlink: bool = False) -> None:
+        """Detach from (and with ``unlink=True`` destroy) the backing
+        shared-memory segments.  No-op for ordinary vectors."""
+        segments, self._segments = self._segments, []
+        # Replace the views with private copies first so the vector stays
+        # usable after the mapping goes away.
+        if segments:
+            self.parts = [np.array(part, copy=True) for part in self.parts]
+        for seg in segments:
+            seg.close()
+            if unlink:
+                seg.unlink()
 
     @classmethod
     def full_random(
@@ -158,37 +250,52 @@ class DistributedVectorSpace:
     """Inner products and streaming updates over distributed vectors.
 
     All methods do the real arithmetic locally per locale and accumulate
-    simulated time into :attr:`report`: streaming work at the machine's
-    axpy rate (parallel over each locale's cores), reductions through a
-    simulated allreduce.
+    time into :attr:`report`.  On a ``backend="sim"`` cluster that time is
+    simulated: streaming work at the machine's axpy rate (parallel over
+    each locale's cores), reductions through a simulated allreduce.  On a
+    ``backend="threads"`` cluster it is the measured wall-clock time of
+    the local arithmetic, and the allreduce charge vanishes (a global sum
+    in shared memory is just the local sum).
     """
 
     def __init__(self, basis: DistributedBasis) -> None:
         self.basis = basis
         self.mpi = SimMPI(basis.cluster, ranks_per_locale=1)
         self.report = SimReport()
+        self.wall_clock = (
+            getattr(basis.cluster, "backend", "sim") == "threads"
+        )
 
-    def _charge_stream(self, n_vectors: int = 1) -> None:
-        machine = self.basis.cluster.machine
-        per_locale = [
-            machine.compute_time(machine.t_axpy, int(c) * n_vectors)
-            for c in self.basis.counts
-        ]
-        elapsed = max(per_locale) if per_locale else 0.0
+    def _charge_stream(
+        self, n_vectors: int = 1, measured: float | None = None
+    ) -> None:
+        if self.wall_clock:
+            elapsed = measured if measured is not None else 0.0
+        else:
+            machine = self.basis.cluster.machine
+            per_locale = [
+                machine.compute_time(machine.t_axpy, int(c) * n_vectors)
+                for c in self.basis.counts
+            ]
+            elapsed = max(per_locale) if per_locale else 0.0
         self.report.elapsed += elapsed
         self.report.merge_phase("stream", elapsed)
 
     def _charge_reduce(self, nbytes: int) -> None:
+        if self.wall_clock:
+            # The reduction is part of the measured local arithmetic.
+            return
         _, elapsed = self.mpi.allreduce(np.zeros((self.basis.n_locales, 1)))
         self.report.elapsed += elapsed
         self.report.merge_phase("allreduce", elapsed)
 
     def dot(self, x: DistributedVector, y: DistributedVector) -> complex:
         """Global inner product ``<x|y>`` (conjugating ``x``)."""
+        t0 = time.perf_counter()
         local = sum(
             np.vdot(px, py) for px, py in zip(x.parts, y.parts)
         )
-        self._charge_stream(2)
+        self._charge_stream(2, measured=time.perf_counter() - t0)
         self._charge_reduce(16)
         value = complex(local)
         return value.real if x.dtype.kind != "c" and y.dtype.kind != "c" else value
@@ -199,15 +306,17 @@ class DistributedVectorSpace:
 
     def axpy(self, alpha, x: DistributedVector, y: DistributedVector) -> None:
         """``y += alpha * x`` in place."""
+        t0 = time.perf_counter()
         for px, py in zip(x.parts, y.parts):
             py += alpha * px
-        self._charge_stream(2)
+        self._charge_stream(2, measured=time.perf_counter() - t0)
 
     def scale(self, alpha, x: DistributedVector) -> None:
         """``x *= alpha`` in place."""
+        t0 = time.perf_counter()
         for px in x.parts:
             px *= alpha
-        self._charge_stream(1)
+        self._charge_stream(1, measured=time.perf_counter() - t0)
 
     # -- vector factory methods (complete the VectorSpace protocol, so the
     # -- Krylov solvers drive distributed vectors directly) -----------------

@@ -11,6 +11,7 @@ __all__ = [
     "ConvergenceError",
     "FaultError",
     "DeadlockError",
+    "BackendError",
     "CheckpointError",
 ]
 
@@ -108,6 +109,35 @@ class DeadlockError(FaultError, RuntimeError):
         self.crashed_locales = (
             crashed_locales if crashed_locales is not None else []
         )
+
+
+class BackendError(ReproError):
+    """Raised for execution-backend failures and misconfiguration.
+
+    Covers three situations:
+
+    - an unknown or unsupported ``backend=`` selection on a
+      :class:`~repro.runtime.cluster.Cluster` (or a feature the chosen
+      backend does not implement, e.g. fault injection on the real
+      shared-memory backend — faults are sim-only for now);
+    - a worker raising mid-matvec on the parallel backend: the original
+      exception is chained as ``__cause__``, the failing worker's locale
+      is recorded in :attr:`locale`, and the remaining workers are
+      cancelled — the run fails loudly instead of hanging;
+    - the parallel backend's watchdog detecting that every live worker is
+      blocked with no possible wakeup (the wall-clock analogue of the
+      simulator's :class:`DeadlockError`).
+
+    Attributes
+    ----------
+    locale:
+        Locale of the worker that failed first, or ``None`` when the
+        error is not attributable to one worker.
+    """
+
+    def __init__(self, message: str, locale: int | None = None) -> None:
+        super().__init__(message)
+        self.locale = locale
 
 
 class CheckpointError(ReproError):

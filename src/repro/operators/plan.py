@@ -28,6 +28,7 @@ serve a whole distributed operator.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable
 
@@ -80,6 +81,11 @@ class MatvecPlan:
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self._nbytes_by_key: dict[Hashable, int] = {}
         self._bytes = 0
+        # One plan serves every chunk task of a matvec, and on the
+        # ``threads`` execution backend those tasks run concurrently; the
+        # LRU reordering and the eviction bookkeeping are multi-step and
+        # need a lock (uncontended on the sim backend).
+        self._lock = threading.RLock()
 
     # -- inspection ----------------------------------------------------------
 
@@ -106,13 +112,14 @@ class MatvecPlan:
     def get(self, key: Hashable):
         """The cached entry for ``key``, or ``None`` (recorded as hit/miss)."""
         metrics = current_telemetry().metrics
-        entry = self._entries.get(key)
-        if entry is None:
-            metrics.counter("plan.misses").inc()
-            return None
-        self._entries.move_to_end(key)
-        metrics.counter("plan.hits").inc()
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                metrics.counter("plan.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            metrics.counter("plan.hits").inc()
+            return entry
 
     def put(self, key: Hashable, entry: object) -> None:
         """Insert ``entry`` under ``key``, evicting LRU entries to fit."""
@@ -122,27 +129,29 @@ class MatvecPlan:
             # Would evict everything and still not fit; skip caching.
             metrics.counter("plan.rejected").inc()
             return
-        old = self._nbytes_by_key.pop(key, None)
-        if old is not None:
-            del self._entries[key]
-            self._bytes -= old
-        while self._bytes + nbytes > self.capacity_bytes and self._entries:
-            old_key, _ = self._entries.popitem(last=False)
-            evicted = self._nbytes_by_key.pop(old_key)
-            self._bytes -= evicted
-            metrics.counter("plan.evictions").inc()
-            if telemetry_log.enabled("debug"):
-                telemetry_log.debug(
-                    "plan.evict", key=str(old_key), nbytes=evicted
-                )
-        self._entries[key] = entry
-        self._nbytes_by_key[key] = nbytes
-        self._bytes += nbytes
-        metrics.gauge("plan.bytes").set(float(self._bytes))
+        with self._lock:
+            old = self._nbytes_by_key.pop(key, None)
+            if old is not None:
+                del self._entries[key]
+                self._bytes -= old
+            while self._bytes + nbytes > self.capacity_bytes and self._entries:
+                old_key, _ = self._entries.popitem(last=False)
+                evicted = self._nbytes_by_key.pop(old_key)
+                self._bytes -= evicted
+                metrics.counter("plan.evictions").inc()
+                if telemetry_log.enabled("debug"):
+                    telemetry_log.debug(
+                        "plan.evict", key=str(old_key), nbytes=evicted
+                    )
+            self._entries[key] = entry
+            self._nbytes_by_key[key] = nbytes
+            self._bytes += nbytes
+            metrics.gauge("plan.bytes").set(float(self._bytes))
 
     def invalidate(self) -> None:
         """Drop every cached entry (e.g. after the operator changed)."""
-        self._entries.clear()
-        self._nbytes_by_key.clear()
-        self._bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._nbytes_by_key.clear()
+            self._bytes = 0
         current_telemetry().metrics.gauge("plan.bytes").set(0.0)

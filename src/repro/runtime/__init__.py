@@ -14,6 +14,12 @@ algorithms are correctness-testable), while time is accounted by
 - a :class:`~repro.runtime.events.Simulator` — a discrete-event simulator
   with tasks, flags, queues and resources — for the asynchronous
   producer-consumer matvec (Sec. 5.3).
+
+The simulator is one of two conforming *execution backends* behind the
+executor abstraction of :mod:`repro.runtime.executor`; the other
+(:class:`~repro.runtime.executor.ThreadExecutor`) runs the same protocol
+generators on real worker threads with wall-clock timings.  Select with
+``Cluster(..., backend="sim"|"threads")`` — see ``docs/BACKENDS.md``.
 """
 
 from repro.runtime.machine import MachineModel, NetworkModel, snellius_machine, laptop_machine
@@ -25,6 +31,14 @@ from repro.runtime.events import (
     Simulator,
     Timeout,
     WaitFlag,
+)
+from repro.runtime.executor import (
+    BACKENDS,
+    Barrier,
+    Executor,
+    SimExecutor,
+    ThreadExecutor,
+    get_executor,
 )
 from repro.runtime.mpi import SimMPI
 
@@ -43,5 +57,11 @@ __all__ = [
     "WaitFlag",
     "Pop",
     "Acquire",
+    "BACKENDS",
+    "Barrier",
+    "Executor",
+    "SimExecutor",
+    "ThreadExecutor",
+    "get_executor",
     "SimMPI",
 ]

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import BackendError
+from repro.runtime.executor import BACKENDS
 from repro.runtime.machine import MachineModel, snellius_machine
 
 __all__ = ["Cluster", "Locale"]
@@ -33,6 +35,13 @@ class Cluster:
     :class:`~repro.distributed.operator.DistributedOperator` built on this
     cluster picks them up automatically (this is how config files inject
     faults without threading arguments through every call site).
+
+    ``backend`` selects the execution backend every distributed algorithm
+    on this cluster runs on (see :mod:`repro.runtime.executor` and
+    ``docs/BACKENDS.md``): ``"sim"`` (default) is the discrete-event
+    simulator with modelled timings; ``"threads"`` runs each locale as a
+    real worker thread and reports wall-clock timings.  Fault injection
+    is sim-only, so ``backend="threads"`` rejects ``faults=``.
     """
 
     def __init__(
@@ -41,15 +50,27 @@ class Cluster:
         machine: MachineModel | None = None,
         faults=None,
         resilience=None,
+        backend: str = "sim",
     ) -> None:
         if n_locales < 1:
             raise ValueError(f"need at least one locale, got {n_locales}")
+        if backend not in BACKENDS:
+            raise BackendError(
+                f"unknown execution backend {backend!r}; choose from "
+                f"{BACKENDS}"
+            )
+        if backend != "sim" and faults is not None:
+            raise BackendError(
+                "fault injection is sim-only for now: attach faults to a "
+                "backend='sim' cluster (see docs/BACKENDS.md)"
+            )
         self.machine = machine if machine is not None else snellius_machine()
         self.locales = [
             Locale(i, self.machine.cores_per_locale) for i in range(n_locales)
         ]
         self.faults = faults
         self.resilience = resilience
+        self.backend = backend
 
     @property
     def n_locales(self) -> int:

@@ -24,6 +24,18 @@ A process is a generator that yields *commands*:
 Between yields, processes run ordinary Python — this is where the *real*
 data movement of the simulated algorithms happens, so the simulation
 produces both correct results and simulated timings in one pass.
+Protocol code follows a *charge-after-work* convention: do the real work
+first, then yield the labelled ``Timeout`` that models it.  The order is
+timing-identical here (work between yields is instantaneous in simulated
+time) and it is what lets the same generator run on the real parallel
+backend, where the Timeout stamps a wall-clock span over the work.
+
+The command dataclasses below are the shared protocol language of the
+executor abstraction (:mod:`repro.runtime.executor`): the matvec
+pipelines yield them once, and either this simulator or the real
+shared-memory :class:`~repro.runtime.executor.ThreadExecutor` interprets
+them.  This class remains the timing-fidelity backend — nothing about
+its event loop, clock, or fault machinery changed with that abstraction.
 
 The simulator optionally feeds a
 :class:`~repro.telemetry.trace.TraceRecorder` (pass it as

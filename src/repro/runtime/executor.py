@@ -1,0 +1,682 @@
+"""Execution backends behind one protocol surface.
+
+The distributed matvec pipelines are written as generator *processes*
+that yield the command objects of :mod:`repro.runtime.events` —
+``Timeout`` / ``WaitFlag`` / ``Pop`` / ``Acquire`` — and otherwise run
+ordinary Python between yields.  That command language is the whole
+protocol surface the algorithms need (spawn a process, wait on a flag,
+hand off a buffer, arrive at a barrier, read a clock), so the same
+generator can be *interpreted* by different executors:
+
+:class:`SimExecutor`
+    the existing discrete-event :class:`~repro.runtime.events.Simulator`.
+    Commands advance a simulated clock; timings are a pure function of
+    the machine model and bit-identical to the pre-abstraction code.
+    This is the only backend that supports fault injection and the
+    chaos/resilience machinery.
+
+:class:`ThreadExecutor`
+    a real shared-memory parallel backend: every spawned process runs on
+    its own OS thread, flags/queues/resources are condition-variable
+    synchronized, and the NumPy kernels between yields (which release
+    the GIL) genuinely overlap.  ``Timeout`` commands do not sleep —
+    they *stamp* a wall-clock trace span covering the real work done
+    since the process last resumed — and ``call_later`` callbacks run
+    inline (remote-atomic latency is zero in shared memory).  A worker
+    that raises is converted into a :class:`~repro.errors.BackendError`
+    carrying its locale; every other blocked worker is cancelled, so a
+    mid-matvec failure propagates instead of hanging.  A watchdog turns
+    a genuine protocol deadlock (all live workers blocked, no wakeups)
+    into the same typed error.
+
+Backend selection is a :class:`~repro.runtime.cluster.Cluster` /config/
+CLI concern: algorithms call :func:`get_executor(cluster, ...)` and never
+mention a backend by name.
+
+Shared-state rules for backend-generic protocol code:
+
+- use :meth:`Executor.counter` for cross-process counters (atomic
+  ``add``/``get`` on both backends);
+- wrap telemetry/ledger mutations in ``with ex.mutex:`` (a no-op context
+  on the simulator, an ``RLock`` on threads);
+- guard shared NumPy accumulation (``np.add.at``) with a per-target
+  ``ex.lock()``;
+- never hold ``ex.mutex`` while setting a flag or pushing to a queue.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import os
+import threading
+import time
+from collections import deque
+from contextlib import nullcontext
+from typing import Any, Callable, Generator, Iterator, Sequence
+
+from repro.errors import BackendError
+from repro.runtime.events import (
+    Acquire,
+    Pop,
+    Simulator,
+    Timeout,
+    WaitFlag,
+)
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "SimExecutor",
+    "ThreadExecutor",
+    "Barrier",
+    "get_executor",
+]
+
+#: Names accepted by ``Cluster(backend=...)`` / ``--backend``.
+BACKENDS = ("sim", "threads")
+
+_NULL_CONTEXT = nullcontext()
+
+
+class _SimCounter:
+    """A shared counter on the simulator: plain Python is already atomic
+    between yields, so this is just an int with the executor-counter API."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1):
+        self.value += amount
+        return self.value
+
+    def get(self):
+        return self.value
+
+
+class _ThreadCounter:
+    """A lock-guarded counter (threads mutate it concurrently)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, value: float = 0) -> None:
+        self.value = value
+        self._lock = threading.Lock()
+
+    def add(self, amount: float = 1):
+        with self._lock:
+            self.value += amount
+            return self.value
+
+    def get(self):
+        with self._lock:
+            return self.value
+
+
+class Barrier:
+    """A reusable-once arrival barrier in the shared command language.
+
+    ``yield from barrier.arrive()`` blocks until all ``parties``
+    processes have arrived.  Built purely from an executor counter and
+    flag, so it behaves identically on every backend.  One instance
+    serves one rendezvous; create a fresh barrier per generation.
+    """
+
+    __slots__ = ("_count", "_flag", "parties")
+
+    def __init__(self, executor: "Executor", parties: int) -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs at least one party, got {parties}")
+        self.parties = parties
+        self._count = executor.counter(0)
+        self._flag = executor.flag(False, name="barrier")
+
+    def arrive(self):
+        if self._count.add(1) >= self.parties:
+            self._flag.set(True)
+        else:
+            yield WaitFlag(self._flag, True)
+
+
+class Executor:
+    """The protocol surface shared by all backends (documentation base).
+
+    Concrete backends provide:
+
+    - ``flag(value, name)`` / ``queue(name)`` / ``resource(capacity,
+      name)``: synchronization primitives consumed by the yielded
+      ``WaitFlag`` / ``Pop`` / ``Acquire`` commands;
+    - ``counter(value)``: an atomic shared counter (``add`` returns the
+      new value);
+    - ``barrier(parties)``: an arrival barrier (see :class:`Barrier`);
+    - ``spawn(gen, name, track, locale)``: register a generator process;
+    - ``call_later(delay, fn)``: fire-and-forget callback (delayed on
+      the simulator, inline on threads);
+    - ``run(until)``: drive everything to completion, returning elapsed
+      time in this backend's clock;
+    - ``now``: the current clock reading (simulated or wall seconds);
+    - ``mutex``: a context manager guarding telemetry/ledger mutations
+      (no-op on the simulator);
+    - ``lock()``: a fresh context manager for guarding one shared NumPy
+      target (no-op on the simulator);
+    - ``map(thunks, locales)``: run plain callables (no yields) to
+      completion, in order on the simulator and concurrently on threads.
+
+    Class attributes ``name`` ("sim"/"threads") and ``wall_clock``
+    (whether timings are wall seconds) let callers label reports without
+    isinstance checks.
+    """
+
+    name: str = "abstract"
+    wall_clock: bool = False
+
+    def barrier(self, parties: int) -> Barrier:
+        return Barrier(self, parties)
+
+
+class SimExecutor(Executor):
+    """The discrete-event backend: a thin shell over :class:`Simulator`.
+
+    Every method delegates 1:1, so protocol code running through this
+    executor produces the *same event sequence* — and therefore
+    bit-identical simulated timings — as code written directly against
+    the simulator.
+    """
+
+    name = "sim"
+    wall_clock = False
+
+    def __init__(self, trace=None, faults=None) -> None:
+        self.sim = Simulator(trace=trace, faults=faults)
+        self.mutex = _NULL_CONTEXT
+
+    # -- primitives ---------------------------------------------------------
+
+    def flag(self, value: bool = False, name: str | None = None):
+        return self.sim.flag(value, name)
+
+    def queue(self, name: str | None = None):
+        return self.sim.queue(name)
+
+    def resource(self, capacity: int = 1, name: str | None = None):
+        return self.sim.resource(capacity, name)
+
+    def counter(self, value: float = 0) -> _SimCounter:
+        return _SimCounter(value)
+
+    def lock(self):
+        return _NULL_CONTEXT
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(
+        self,
+        gen: Generator | Iterator,
+        name: str = "task",
+        track: tuple[str, str] | None = None,
+        locale: int | None = None,
+    ):
+        return self.sim.spawn(gen, name=name, track=track, locale=locale)
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.sim.call_later(delay, fn)
+
+    def run(self, until: float | None = None) -> float:
+        return self.sim.run(until)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def crashed_locales(self) -> set[int]:
+        return self.sim.crashed_locales
+
+    def map(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        locales: Sequence[int] | None = None,
+    ) -> list:
+        # Sequential, in submission order: exactly what the inline loops
+        # of the analytic variants did before the abstraction.
+        return [fn() for fn in thunks]
+
+
+class _Cancelled(BaseException):
+    """Internal unwind signal: another worker failed, stop quietly."""
+
+
+class _ThreadFlag:
+    """An atomic bool whose waiters park on the executor's condition."""
+
+    __slots__ = ("_ex", "value", "name")
+
+    def __init__(
+        self, ex: "ThreadExecutor", value: bool = False, name: str | None = None
+    ) -> None:
+        self._ex = ex
+        self.value = value
+        self.name = name
+
+    def set(self, value: bool) -> None:
+        with self._ex._cv:
+            self.value = value
+            self._ex._wake()
+
+
+class _ThreadQueue:
+    """An unbounded FIFO with blocking pop on the executor's condition."""
+
+    __slots__ = ("_ex", "_items", "name")
+
+    def __init__(self, ex: "ThreadExecutor", name: str | None = None) -> None:
+        self._ex = ex
+        self._items: deque = deque()
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: Any) -> None:
+        with self._ex._cv:
+            self._items.append(item)
+            self._ex._wake()
+
+
+class _ThreadResource:
+    """A counted resource; acquisition parks on the executor's condition."""
+
+    __slots__ = ("_ex", "capacity", "in_use", "name")
+
+    def __init__(
+        self, ex: "ThreadExecutor", capacity: int = 1, name: str | None = None
+    ) -> None:
+        self._ex = ex
+        self.capacity = capacity
+        self.in_use = 0
+        self.name = name
+
+    def release(self) -> None:
+        with self._ex._cv:
+            self.in_use -= 1
+            self._ex._wake()
+
+
+class _ThreadProcess:
+    """Bookkeeping for one generator driven on its own thread."""
+
+    __slots__ = ("gen", "name", "track", "locale", "thread", "waiting_on")
+
+    def __init__(self, gen, name, track, locale) -> None:
+        self.gen = gen
+        self.name = name
+        self.track = track if track is not None else ("threads", name)
+        self.locale = locale
+        self.thread: threading.Thread | None = None
+        #: description of the blocking wait, or None while running
+        self.waiting_on: str | None = None
+
+
+class ThreadExecutor(Executor):
+    """The real shared-memory parallel backend.
+
+    One OS thread per spawned process interprets the yielded commands:
+    ``WaitFlag`` / ``Pop`` / ``Acquire`` become condition-variable waits,
+    ``Timeout`` becomes a wall-clock trace span covering the real work
+    executed since the last resume (protocol code does its real work
+    *before* yielding the Timeout that models it), and ``call_later``
+    runs its callback inline.  ``run()`` joins all workers and returns
+    the wall-clock elapsed seconds.
+
+    ``contextvars`` (the ambient job scope) are copied into every worker
+    thread, so job-scoped metric fan-out attributes identically to the
+    simulator backend.
+    """
+
+    name = "threads"
+    wall_clock = True
+
+    #: seconds of "all live workers blocked, zero wakeups" before the
+    #: watchdog declares a deadlock
+    watchdog_seconds = 20.0
+
+    def __init__(self, trace=None, n_workers: int | None = None) -> None:
+        self._cv = threading.Condition()
+        self._trace = trace if trace is not None and trace.enabled else None
+        self.mutex = threading.RLock()
+        self.n_workers = (
+            n_workers if n_workers is not None else (os.cpu_count() or 1)
+        )
+        self._processes: list[_ThreadProcess] = []
+        self._failure: BackendError | None = None
+        self._wake_seq = 0  # bumped on every notify (watchdog heartbeat)
+        self._waiting = 0  # threads currently parked in a blocking wait
+        self._t0: float | None = None
+
+    # -- primitives ---------------------------------------------------------
+
+    def flag(self, value: bool = False, name: str | None = None) -> _ThreadFlag:
+        return _ThreadFlag(self, value, name)
+
+    def queue(self, name: str | None = None) -> _ThreadQueue:
+        return _ThreadQueue(self, name)
+
+    def resource(
+        self, capacity: int = 1, name: str | None = None
+    ) -> _ThreadResource:
+        return _ThreadResource(self, capacity, name)
+
+    def counter(self, value: float = 0) -> _ThreadCounter:
+        return _ThreadCounter(value)
+
+    def lock(self):
+        return threading.Lock()
+
+    @property
+    def now(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return time.perf_counter() - self._t0
+
+    # -- condition-variable plumbing ----------------------------------------
+
+    def _wake(self) -> None:
+        # Callers hold self._cv.
+        self._wake_seq += 1
+        self._cv.notify_all()
+
+    def _fail(self, exc: BaseException, proc: _ThreadProcess | None) -> None:
+        if isinstance(exc, BackendError):
+            err = exc
+        else:
+            where = (
+                f"worker {proc.name!r}"
+                + (f" (locale {proc.locale})" if proc.locale is not None else "")
+                if proc is not None
+                else "worker"
+            )
+            err = BackendError(
+                f"{where} failed mid-run: {type(exc).__name__}: {exc}",
+                locale=proc.locale if proc is not None else None,
+            )
+            err.__cause__ = exc
+        with self._cv:
+            if self._failure is None:
+                self._failure = err
+            self._wake()
+
+    def _wait(self, proc: _ThreadProcess, ready, detail: str, deadline=None):
+        """Park on the condition until ``ready()`` is truthy.
+
+        Returns True when ready, False when ``deadline`` (a perf_counter
+        time) passed first.  Raises :class:`_Cancelled` when another
+        worker failed.  Callers hold ``self._cv``.
+        """
+        proc.waiting_on = detail
+        try:
+            while True:
+                if self._failure is not None:
+                    raise _Cancelled
+                if ready():
+                    return True
+                timeout = None
+                if deadline is not None:
+                    timeout = deadline - time.perf_counter()
+                    if timeout <= 0:
+                        return False
+                self._waiting += 1
+                try:
+                    self._cv.wait(timeout)
+                finally:
+                    self._waiting -= 1
+        finally:
+            proc.waiting_on = None
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(
+        self,
+        gen: Generator | Iterator,
+        name: str = "task",
+        track: tuple[str, str] | None = None,
+        locale: int | None = None,
+    ) -> _ThreadProcess:
+        proc = _ThreadProcess(gen, name, track, locale)
+        self._processes.append(proc)
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        ctx = contextvars.copy_context()
+        thread = threading.Thread(
+            target=ctx.run,
+            args=(self._drive, proc),
+            name=f"repro-{name}",
+            daemon=True,
+        )
+        proc.thread = thread
+        thread.start()
+        return proc
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        # Remote-atomic latency collapses to zero in shared memory: the
+        # callback's effect (a flag write, a queue push) is immediately
+        # visible, exactly like a same-node atomic.
+        fn()
+
+    def _span(self, proc: _ThreadProcess, label, start, duration, args=None):
+        if self._trace is not None and duration > 0.0:
+            with self.mutex:
+                self._trace.complete(proc.track, label, start, duration, args)
+
+    def _drive(self, proc: _ThreadProcess) -> None:
+        gen = proc.gen
+        value: Any = None
+        last_resume = time.perf_counter()
+        try:
+            while True:
+                command = gen.send(value)
+                value = None
+                blocked_at = time.perf_counter()
+                if isinstance(command, Timeout):
+                    # Charge-after-work: the span covers the real work
+                    # done since the last yield; nothing sleeps.
+                    if command.label is not None:
+                        self._span(
+                            proc,
+                            command.label,
+                            last_resume - self._t0,
+                            blocked_at - last_resume,
+                            command.args,
+                        )
+                elif isinstance(command, WaitFlag):
+                    flag = command.flag
+                    deadline = (
+                        None
+                        if command.timeout is None
+                        else blocked_at + command.timeout
+                    )
+                    with self._cv:
+                        ok = self._wait(
+                            proc,
+                            lambda: flag.value == command.value,
+                            f"flag {flag.name}={command.value}"
+                            if flag.name
+                            else f"flag={command.value}",
+                            deadline,
+                        )
+                    value = ok
+                    self._stall(proc, "stall", blocked_at)
+                elif isinstance(command, Pop):
+                    queue = command.queue
+                    with self._cv:
+                        self._wait(
+                            proc,
+                            lambda: len(queue._items) > 0,
+                            f"queue {queue.name or '<anonymous>'}",
+                        )
+                        value = queue._items.popleft()
+                    self._stall(proc, "idle", blocked_at)
+                elif isinstance(command, Acquire):
+                    resource = command.resource
+                    with self._cv:
+                        self._wait(
+                            proc,
+                            lambda: resource.in_use < resource.capacity,
+                            f"resource {resource.name or '<anonymous>'}",
+                        )
+                        resource.in_use += 1
+                    self._stall(
+                        proc,
+                        "wait:" + resource.name
+                        if resource.name is not None
+                        else "wait:resource",
+                        blocked_at,
+                    )
+                else:
+                    raise TypeError(
+                        f"process {proc.name!r} yielded {command!r}; "
+                        "expected Timeout, WaitFlag, Pop, or Acquire"
+                    )
+                last_resume = time.perf_counter()
+        except StopIteration:
+            pass
+        except _Cancelled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - converted to BackendError
+            self._fail(exc, proc)
+
+    def _stall(self, proc: _ThreadProcess, kind: str, blocked_at: float) -> None:
+        self._span(
+            proc,
+            kind,
+            blocked_at - self._t0,
+            time.perf_counter() - blocked_at,
+        )
+
+    def run(self, until: float | None = None) -> float:
+        """Join all workers; returns wall-clock seconds since first spawn.
+
+        Raises :class:`~repro.errors.BackendError` when any worker
+        failed, or when the watchdog finds every live worker blocked
+        with no wakeups for :attr:`watchdog_seconds`.
+        """
+        if self._t0 is None:
+            return 0.0
+        stuck_since: float | None = None
+        stuck_seq = -1
+        while True:
+            alive = [p for p in self._processes if p.thread.is_alive()]
+            if not alive:
+                break
+            alive[0].thread.join(timeout=0.05)
+            if self._failure is not None:
+                stuck_since = None
+                continue
+            with self._cv:
+                seq = self._wake_seq
+                blocked_count = sum(
+                    1 for p in alive if p.waiting_on is not None
+                )
+                all_blocked = (
+                    blocked_count == len(alive)
+                    and self._waiting >= len(alive)
+                )
+            if not all_blocked or seq != stuck_seq:
+                stuck_since, stuck_seq = None, seq
+                continue
+            if stuck_since is None:
+                stuck_since = time.perf_counter()
+            elif time.perf_counter() - stuck_since > self.watchdog_seconds:
+                blocked = [
+                    f"{p.name} waiting on {p.waiting_on or '<unknown>'}"
+                    for p in alive
+                ]
+                self._fail(
+                    BackendError(
+                        "parallel backend deadlock: "
+                        f"{len(alive)} worker(s) blocked with no wakeups "
+                        f"for {self.watchdog_seconds:.0f}s: "
+                        + "; ".join(blocked[:8])
+                    ),
+                    None,
+                )
+        elapsed = time.perf_counter() - self._t0
+        if self._failure is not None:
+            raise self._failure
+        return elapsed
+
+    def map(
+        self,
+        thunks: Sequence[Callable[[], Any]],
+        locales: Sequence[int] | None = None,
+    ) -> list:
+        """Run plain callables concurrently; results in submission order.
+
+        The first exception cancels the not-yet-started rest and is
+        raised as a :class:`~repro.errors.BackendError` naming the
+        failing task's locale (when ``locales`` is given).
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        if not thunks:
+            return []
+        results: list = [None] * len(thunks)
+        ctx = contextvars.copy_context()
+        with ThreadPoolExecutor(
+            max_workers=min(self.n_workers, len(thunks)),
+            thread_name_prefix="repro-map",
+        ) as pool:
+            futures = [
+                pool.submit(ctx.copy().run, fn) for fn in thunks
+            ]
+            error: BackendError | None = None
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except BaseException as exc:  # noqa: BLE001
+                    if error is None:
+                        locale = (
+                            locales[i]
+                            if locales is not None and i < len(locales)
+                            else None
+                        )
+                        where = (
+                            f"task {i} (locale {locale})"
+                            if locale is not None
+                            else f"task {i}"
+                        )
+                        error = BackendError(
+                            f"{where} failed mid-matvec: "
+                            f"{type(exc).__name__}: {exc}",
+                            locale=locale,
+                        )
+                        error.__cause__ = exc
+                        for pending in futures[i + 1 :]:
+                            pending.cancel()
+            if error is not None:
+                raise error
+        return results
+
+
+def get_executor(cluster, trace=None, faults=None) -> Executor:
+    """The executor for ``cluster``'s configured backend.
+
+    ``trace`` is an optional :class:`~repro.telemetry.trace.TraceRecorder`;
+    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan`) is only
+    supported by the simulator backend — the real backend raises a typed
+    :class:`~repro.errors.BackendError` because injected faults are
+    defined in simulated time.
+    """
+    backend = getattr(cluster, "backend", "sim")
+    if backend == "sim":
+        return SimExecutor(trace=trace, faults=faults)
+    if backend == "threads":
+        if faults is not None:
+            raise BackendError(
+                "fault injection is sim-only for now: run faults/chaos "
+                "workloads on backend='sim' (see docs/BACKENDS.md)"
+            )
+        return ThreadExecutor(trace=trace)
+    raise BackendError(
+        f"unknown execution backend {backend!r}; choose from {BACKENDS}"
+    )

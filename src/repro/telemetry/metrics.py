@@ -15,6 +15,7 @@ call per event and allocates nothing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -184,65 +185,68 @@ class MetricsRegistry:
         # (job_id, key) -> fan-out instrument, so repeated lookups under
         # the same job stay a single dict hit.
         self._job_instruments: dict = {}
+        # Guards instrument creation only: on the threads execution
+        # backend, concurrent first lookups of the same (name, labels)
+        # must intern exactly one instrument (a lost write would fork a
+        # counter family).  The hot path — a lookup that hits — stays a
+        # lock-free dict get.
+        self._intern_lock = threading.Lock()
+
+    def _intern(self, table: dict, key, factory):
+        instrument = table.get(key)
+        if instrument is None:
+            with self._intern_lock:
+                instrument = table.get(key)
+                if instrument is None:
+                    instrument = table[key] = factory()
+        return instrument
+
+    def _fanout_entry(self, kind: str, key, instrument, fan_cls, mirror):
+        ctx = current_job()
+        if ctx is None or ctx.metrics is self:
+            return instrument
+        jkey = (ctx.job_id, kind, key)
+        entry = self._job_instruments.get(jkey)
+        # A fresh JobContext may reuse a job id; the mirror identity
+        # check keeps the cache from writing into the previous context's
+        # registry.
+        if entry is not None and entry[0] is ctx.metrics:
+            return entry[1]
+        with self._intern_lock:
+            entry = self._job_instruments.get(jkey)
+            if entry is None or entry[0] is not ctx.metrics:
+                entry = (ctx.metrics, fan_cls(instrument, mirror(ctx)))
+                self._job_instruments[jkey] = entry
+        return entry[1]
 
     def counter(self, name: str, **labels) -> Counter:
         key = (name, _label_key(labels))
-        instrument = self._counters.get(key)
-        if instrument is None:
-            instrument = self._counters[key] = Counter()
+        instrument = self._intern(self._counters, key, Counter)
         if self._fanout:
-            ctx = current_job()
-            if ctx is not None and ctx.metrics is not self:
-                jkey = (ctx.job_id, "c", key)
-                entry = self._job_instruments.get(jkey)
-                # A fresh JobContext may reuse a job id; the mirror
-                # identity check keeps the cache from writing into the
-                # previous context's registry.
-                if entry is None or entry[0] is not ctx.metrics:
-                    fan = _FanoutCounter(
-                        instrument, ctx.metrics.counter(name, **labels)
-                    )
-                    self._job_instruments[jkey] = (ctx.metrics, fan)
-                    return fan
-                return entry[1]
+            return self._fanout_entry(
+                "c", key, instrument, _FanoutCounter,
+                lambda ctx: ctx.metrics.counter(name, **labels),
+            )
         return instrument
 
     def gauge(self, name: str, **labels) -> Gauge:
         key = (name, _label_key(labels))
-        instrument = self._gauges.get(key)
-        if instrument is None:
-            instrument = self._gauges[key] = Gauge()
+        instrument = self._intern(self._gauges, key, Gauge)
         if self._fanout:
-            ctx = current_job()
-            if ctx is not None and ctx.metrics is not self:
-                jkey = (ctx.job_id, "g", key)
-                entry = self._job_instruments.get(jkey)
-                if entry is None or entry[0] is not ctx.metrics:
-                    fan = _FanoutGauge(
-                        instrument, ctx.metrics.gauge(name, **labels)
-                    )
-                    self._job_instruments[jkey] = (ctx.metrics, fan)
-                    return fan
-                return entry[1]
+            return self._fanout_entry(
+                "g", key, instrument, _FanoutGauge,
+                lambda ctx: ctx.metrics.gauge(name, **labels),
+            )
         return instrument
 
     def histogram(self, name: str, **labels) -> Histogram:
         key = (name, _label_key(labels))
-        instrument = self._histograms.get(key)
-        if instrument is None:
-            instrument = self._histograms[key] = Histogram()
+        instrument = self._intern(self._histograms, key, Histogram)
         if self._fanout:
-            ctx = current_job()
-            if ctx is not None and ctx.metrics is not self:
-                jkey = (ctx.job_id, "h", key)
-                entry = self._job_instruments.get(jkey)
-                if entry is None or entry[0] is not ctx.metrics:
-                    fan = _FanoutHistogram(
-                        instrument, ctx.metrics.histogram(name, **labels)
-                    )
-                    self._job_instruments[jkey] = (ctx.metrics, fan)
-                    return fan
-                return entry[1]
+            return self._fanout_entry(
+                "h", key, instrument, _FanoutHistogram,
+                lambda ctx: ctx.metrics.histogram(name, **labels),
+            )
         return instrument
 
     def counter_total(self, name: str) -> float:

@@ -1,0 +1,309 @@
+"""Backend-conformance suite for the executor abstraction.
+
+Every test in :class:`TestConformance` drives the *same* generator
+protocol code through both executors — the discrete-event simulator and
+the real thread backend — and asserts the same observable behaviour:
+FIFO queue ordering, flag handshake semantics (including timed waits
+resuming with ``False``), barrier rendezvous, atomic counters, resource
+capacity limits, and RemoteBuffer-style buffer-reuse handoff.  The
+protocol code never mentions a backend; that is the point of the
+abstraction.
+
+Thread-only behaviour — prompt typed failure instead of a hang, map
+fan-out error handling — is covered separately.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.errors import BackendError
+from repro.runtime import Cluster, laptop_machine
+from repro.runtime.events import Acquire, Pop, Timeout, WaitFlag
+from repro.runtime.executor import (
+    BACKENDS,
+    SimExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+
+
+@pytest.fixture(params=["sim", "threads"])
+def ex(request):
+    if request.param == "sim":
+        return SimExecutor()
+    return ThreadExecutor()
+
+
+class TestConformance:
+    def test_queue_is_fifo(self, ex):
+        queue = ex.queue(name="work")
+        seen = []
+
+        def producer():
+            for item in range(10):
+                queue.push(item)
+                yield Timeout(1e-6)
+
+        def consumer():
+            for _ in range(10):
+                item = yield Pop(queue)
+                seen.append(item)
+
+        ex.spawn(producer(), name="producer")
+        ex.spawn(consumer(), name="consumer")
+        ex.run()
+        assert seen == list(range(10))
+
+    def test_flag_handshake_alternates(self, ex):
+        """Two processes ping-pong through a pair of flags; the observed
+        event order must strictly alternate on every backend."""
+        ping = ex.flag(False, name="ping")
+        pong = ex.flag(True, name="pong")
+        events = []
+
+        def pinger():
+            for i in range(5):
+                ok = yield WaitFlag(pong, True)
+                assert ok is True
+                pong.set(False)
+                with ex.mutex:
+                    events.append(("ping", i))
+                ping.set(True)
+
+        def ponger():
+            for i in range(5):
+                ok = yield WaitFlag(ping, True)
+                assert ok is True
+                ping.set(False)
+                with ex.mutex:
+                    events.append(("pong", i))
+                pong.set(True)
+
+        ex.spawn(pinger(), name="pinger")
+        ex.spawn(ponger(), name="ponger")
+        ex.run()
+        assert events == [
+            (side, i) for i in range(5) for side in ("ping", "pong")
+        ]
+
+    def test_timed_flag_wait_resumes_with_false(self, ex):
+        """A WaitFlag with a timeout that expires resumes with ``False``
+        (the retransmit-timer contract of the resilient protocols)."""
+        flag = ex.flag(False, name="never-set")
+        results = []
+
+        def waiter():
+            ok = yield WaitFlag(flag, True, timeout=0.01)
+            results.append(ok)
+
+        ex.spawn(waiter(), name="waiter")
+        ex.run()
+        assert results == [False]
+
+    def test_timed_flag_wait_resumes_with_true_when_set(self, ex):
+        flag = ex.flag(False, name="set-late")
+        results = []
+
+        def setter():
+            yield Timeout(1e-4)
+            flag.set(True)
+
+        def waiter():
+            ok = yield WaitFlag(flag, True, timeout=30.0)
+            results.append(ok)
+
+        ex.spawn(setter(), name="setter")
+        ex.spawn(waiter(), name="waiter")
+        ex.run()
+        assert results == [True]
+
+    def test_barrier_holds_back_every_party(self, ex):
+        parties = 4
+        barrier = ex.barrier(parties)
+        arrived = ex.counter(0)
+        after = []
+
+        def worker(i):
+            arrived.add(1)
+            yield from barrier.arrive()
+            # No party may pass the barrier before all have arrived.
+            with ex.mutex:
+                after.append((i, arrived.get()))
+
+        for i in range(parties):
+            ex.spawn(worker(i), name=f"worker-{i}")
+        ex.run()
+        assert sorted(i for i, _ in after) == list(range(parties))
+        assert all(count == parties for _, count in after)
+
+    def test_counter_add_is_atomic_and_returns_new_value(self, ex):
+        counter = ex.counter(0)
+        claimed = []
+
+        def worker():
+            local = []
+            for _ in range(200):
+                local.append(counter.add(1) - 1)
+            with ex.mutex:
+                claimed.extend(local)
+            yield Timeout(0.0)
+
+        for i in range(4):
+            ex.spawn(worker(), name=f"adder-{i}")
+        ex.run()
+        # 800 adds -> 800 distinct claimed slots, no lost updates.
+        assert counter.get() == 800
+        assert sorted(claimed) == list(range(800))
+
+    def test_resource_capacity_is_enforced(self, ex):
+        resource = ex.resource(capacity=2, name="nic")
+        holders = ex.counter(0)
+        high_water = []
+
+        def worker():
+            for _ in range(5):
+                yield Acquire(resource)
+                depth = holders.add(1)
+                with ex.mutex:
+                    high_water.append(depth)
+                yield Timeout(1e-5)
+                holders.add(-1)
+                resource.release()
+
+        for i in range(6):
+            ex.spawn(worker(), name=f"user-{i}")
+        ex.run()
+        assert len(high_water) == 30
+        assert max(high_water) <= 2
+
+    def test_buffer_reuse_handoff(self, ex):
+        """The RemoteBuffer protocol shape: one reusable slot, a ``full``
+        flag in each direction, strict item ordering, no lost writes."""
+        full = ex.flag(False, name="full")
+        slot = [None]
+        received = []
+
+        def producer():
+            for item in range(25):
+                ok = yield WaitFlag(full, False)
+                assert ok is True
+                slot[0] = item
+                full.set(True)
+
+        def consumer():
+            for _ in range(25):
+                ok = yield WaitFlag(full, True)
+                assert ok is True
+                received.append(slot[0])
+                full.set(False)
+
+        ex.spawn(producer(), name="producer")
+        ex.spawn(consumer(), name="consumer")
+        ex.run()
+        assert received == list(range(25))
+
+    def test_map_preserves_submission_order(self, ex):
+        thunks = [lambda i=i: i * i for i in range(20)]
+        assert ex.map(thunks, locales=[i % 4 for i in range(20)]) == [
+            i * i for i in range(20)
+        ]
+
+    def test_call_later_effect_is_visible_after_run(self, ex):
+        flag = ex.flag(False, name="late")
+        results = []
+
+        def waiter():
+            ok = yield WaitFlag(flag, True)
+            results.append(ok)
+
+        ex.spawn(waiter(), name="waiter")
+        ex.call_later(1e-4, lambda: flag.set(True))
+        ex.run()
+        assert results == [True]
+
+
+class TestThreadFailureSemantics:
+    """A raising worker must produce a typed error, promptly — not a hang."""
+
+    def test_worker_exception_becomes_backend_error_with_locale(self):
+        ex = ThreadExecutor()
+        never = ex.flag(False, name="never")
+
+        def victim():
+            # Blocked forever unless the failure cancels it.
+            yield WaitFlag(never, True)
+
+        def failing():
+            yield Timeout(0.0)
+            raise RuntimeError("injected kaboom")
+
+        ex.spawn(victim(), name="victim", locale=0)
+        ex.spawn(failing(), name="failing", locale=3)
+        t0 = time.perf_counter()
+        with pytest.raises(BackendError) as excinfo:
+            ex.run()
+        assert time.perf_counter() - t0 < 5.0, "failure should not hang"
+        assert "locale 3" in str(excinfo.value)
+        assert excinfo.value.locale == 3
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_map_failure_names_locale_and_cancels_rest(self):
+        ex = ThreadExecutor(n_workers=2)
+
+        def boom():
+            raise ValueError("bad chunk")
+
+        thunks = [lambda: 1, boom] + [lambda: 2] * 20
+        with pytest.raises(BackendError) as excinfo:
+            ex.map(thunks, locales=[0, 1] + [2] * 20)
+        assert "locale 1" in str(excinfo.value)
+        assert excinfo.value.locale == 1
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_watchdog_turns_deadlock_into_typed_error(self):
+        ex = ThreadExecutor()
+        ex.watchdog_seconds = 0.3
+        never = ex.flag(False, name="stuck-flag")
+
+        def stuck():
+            yield WaitFlag(never, True)
+
+        ex.spawn(stuck(), name="stuck-worker")
+        with pytest.raises(BackendError, match="deadlock"):
+            ex.run()
+
+
+class TestBackendSelection:
+    def test_cluster_default_backend_is_sim(self):
+        cluster = Cluster(2, laptop_machine())
+        assert cluster.backend == "sim"
+        assert isinstance(get_executor(cluster), SimExecutor)
+
+    def test_cluster_threads_backend(self):
+        cluster = Cluster(2, laptop_machine(), backend="threads")
+        assert cluster.backend == "threads"
+        assert isinstance(get_executor(cluster), ThreadExecutor)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(BackendError, match="mpi"):
+            Cluster(2, laptop_machine(), backend="mpi")
+
+    def test_faults_rejected_on_threads(self):
+        from repro.resilience import FaultPlan
+
+        with pytest.raises(BackendError, match="sim-only"):
+            Cluster(
+                2,
+                laptop_machine(),
+                faults=FaultPlan(seed=1, drop=0.5),
+                backend="threads",
+            )
+
+    def test_backends_tuple_is_the_contract(self):
+        assert BACKENDS == ("sim", "threads")
+        assert SimExecutor.name == "sim" and not SimExecutor.wall_clock
+        assert ThreadExecutor.name == "threads" and ThreadExecutor.wall_clock

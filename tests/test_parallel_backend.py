@@ -1,0 +1,226 @@
+"""The real-parallel ``threads`` backend: exactness, failure, determinism.
+
+Three properties anchor the executor refactor:
+
+1. **Exactness on both backends.** Every matvec variant (naive, batched,
+   producer-consumer), for single vectors and ``k``-column blocks, must
+   match the serial reference operator to ``1e-12`` whether the protocol
+   code is interpreted by the discrete-event simulator or run on real
+   threads.
+2. **Clear failure, not a hang.** A worker that raises mid-matvec on the
+   threads backend must surface as a typed
+   :class:`~repro.errors.BackendError` naming the locale, promptly.
+3. **Sim determinism across the refactor.** The simulator backend's
+   timings are a pure function of the machine model; the checked-in
+   ``smoke_pipeline`` baseline (recorded pre-refactor, stddev 0) must be
+   reproduced *bit-identically* by the executor-based pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.basis import SymmetricBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.errors import BackendError
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+
+METHODS = ["naive", "batched", "pc"]
+BASELINES = Path(__file__).parent.parent / "benchmarks" / "baselines"
+
+
+def build(backend, n=12, w=6, n_locales=3, cores=4):
+    group = chain_symmetries(n, momentum=0, parity=0, inversion=0)
+    serial = SymmetricBasis(group, hamming_weight=w)
+    template = SymmetricBasis(group, hamming_weight=w, build=False)
+    cluster = Cluster(n_locales, laptop_machine(cores=cores), backend=backend)
+    dbasis, _ = enumerate_states(cluster, template, chunks_per_core=3)
+    expr = repro.heisenberg_chain(n)
+    return serial, repro.Operator(expr, serial), dbasis, expr
+
+
+class TestExactnessOnBothBackends:
+    @pytest.mark.parametrize("backend", ["sim", "threads"])
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("k", [1, 8])
+    def test_matches_serial(self, backend, method, k, rng):
+        serial, serial_op, dbasis, expr = build(backend)
+        shape = (serial.dim,) if k == 1 else (serial.dim, k)
+        x = rng.standard_normal(shape).astype(serial.scalar_dtype)
+        if serial.scalar_dtype == np.complex128:
+            x = x + 1j * rng.standard_normal(shape)
+        y_ref = serial_op.matvec(x)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=64)
+        dy = dop.matvec(dx)
+        np.testing.assert_allclose(dy.to_serial(serial), y_ref, atol=1e-12)
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_threads_single_locale(self, method, rng):
+        """One worker on the threads backend is the serial shared-memory
+        path; it must agree too."""
+        serial, serial_op, dbasis, expr = build("threads", n_locales=1)
+        x = rng.standard_normal(serial.dim).astype(serial.scalar_dtype)
+        y_ref = serial_op.matvec(x)
+        dx = DistributedVector.from_serial(dbasis, serial, x)
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=64)
+        np.testing.assert_allclose(
+            dop.matvec(dx).to_serial(serial), y_ref, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("method", ["naive", "batched"])
+    def test_threads_report_is_wall_clock_with_model_estimate(
+        self, method, rng
+    ):
+        """Analytic variants on threads report measured wall seconds and
+        keep the simulator's estimate alongside in ``model_seconds``."""
+        serial, _, dbasis, expr = build("threads")
+        dx = DistributedVector.full_random(dbasis, seed=3)
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=64)
+        dop.matvec(dx)
+        report = dop.last_report
+        assert report.elapsed > 0.0
+        assert report.extras["model_seconds"] > 0.0
+
+    def test_threads_pc_report_is_wall_clock(self, rng):
+        serial, _, dbasis, expr = build("threads")
+        dx = DistributedVector.full_random(dbasis, seed=3)
+        dop = DistributedOperator(expr, dbasis, method="pc", batch_size=64)
+        dop.matvec(dx)
+        assert dop.last_report.elapsed > 0.0
+
+
+class TestSharedMemoryVectors:
+    """The process-pool-ready vector backing: named segments, attach by
+    name, detach-with-copy."""
+
+    def test_roundtrip_through_named_segments(self, rng):
+        serial, _, dbasis, _ = build("threads")
+        owner = DistributedVector.zeros_shared(dbasis)
+        assert owner.is_shared
+        names = owner.shared_names()
+        assert len(names) == dbasis.n_locales
+        for part in owner.parts:
+            part[:] = rng.standard_normal(part.shape)
+        view = DistributedVector.attach_shared(dbasis, names, owner.dtype)
+        for mine, theirs in zip(owner.parts, view.parts):
+            np.testing.assert_array_equal(mine, theirs)
+        # Writes through the attached view land in the owner's pages.
+        view.parts[0][:] = 42.0
+        assert float(owner.parts[0][0]) == 42.0
+        view.close_shared(unlink=False)
+        owner.close_shared(unlink=True)
+        assert not owner.is_shared
+        # The detach copy keeps the vector usable after unmapping.
+        assert float(owner.parts[0][0]) == 42.0
+
+    def test_plain_vectors_are_not_shared(self):
+        serial, _, dbasis, _ = build("sim")
+        x = DistributedVector.zeros(dbasis)
+        assert not x.is_shared
+        assert x.shared_names() == []
+        x.close_shared()  # no-op
+
+
+class TestWorkerFailurePropagation:
+    """A raising worker mid-matvec: typed error with the locale, no hang."""
+
+    def test_pc_producer_failure(self, monkeypatch, rng):
+        import repro.distributed.matvec_pc as mod
+
+        serial, _, dbasis, expr = build("threads")
+        real_produce = mod.produce_chunk
+
+        def exploding(op, basis, locale, start, stop, x_part, plan):
+            if locale == 1:
+                raise RuntimeError("injected kaboom")
+            return real_produce(op, basis, locale, start, stop, x_part, plan)
+
+        monkeypatch.setattr(mod, "produce_chunk", exploding)
+        dx = DistributedVector.full_random(dbasis, seed=5)
+        dop = DistributedOperator(expr, dbasis, method="pc", batch_size=64)
+        t0 = time.perf_counter()
+        with pytest.raises(BackendError) as excinfo:
+            dop.matvec(dx)
+        assert time.perf_counter() - t0 < 10.0, "failure must not hang"
+        assert "locale 1" in str(excinfo.value)
+        assert excinfo.value.locale == 1
+
+    @pytest.mark.parametrize("method", ["naive", "batched"])
+    def test_analytic_variant_failure(self, method, monkeypatch, rng):
+        import repro.distributed.matvec_common as common
+
+        module = __import__(
+            f"repro.distributed.matvec_{method}", fromlist=["produce_chunk"]
+        )
+        serial, _, dbasis, expr = build("threads")
+        real_produce = common.produce_chunk
+
+        def exploding(op, basis, locale, start, stop, x_part, plan):
+            if locale == 1:
+                raise RuntimeError("injected kaboom")
+            return real_produce(op, basis, locale, start, stop, x_part, plan)
+
+        monkeypatch.setattr(module, "produce_chunk", exploding)
+        dx = DistributedVector.full_random(dbasis, seed=5)
+        dop = DistributedOperator(expr, dbasis, method=method, batch_size=64)
+        with pytest.raises(BackendError) as excinfo:
+            dop.matvec(dx)
+        assert excinfo.value.locale == 1
+
+    def test_resilience_options_rejected_on_threads(self, rng):
+        from repro.resilience import ResilienceConfig
+
+        serial, _, dbasis, expr = build("threads")
+        dbasis.cluster.resilience = ResilienceConfig()
+        dop = DistributedOperator(expr, dbasis, method="pc", batch_size=64)
+        dx = DistributedVector.full_random(dbasis, seed=5)
+        with pytest.raises(BackendError, match="sim-only"):
+            dop.matvec(dx)
+
+
+class TestSimDeterminismAcrossRefactor:
+    """The executor refactor must not move a single simulated femtosecond."""
+
+    def _pc_elapsed(self):
+        group = chain_symmetries(16, momentum=0, parity=0, inversion=0)
+        template = SymmetricBasis(group, hamming_weight=8, build=False)
+        cluster = Cluster(4, laptop_machine(cores=4))
+        dbasis, _ = enumerate_states(
+            cluster, template, use_weight_shortcut=True
+        )
+        dop = DistributedOperator(
+            repro.heisenberg_chain(16),
+            dbasis,
+            method="pc",
+            batch_size=256,
+            buffer_capacity=64,
+            producers_per_locale=3,
+            consumers_per_locale=1,
+        )
+        dop.matvec(DistributedVector.full_random(dbasis, seed=7))
+        return dop.last_report.elapsed
+
+    def test_simulated_seconds_match_prerefactor_baseline_exactly(self):
+        baseline = json.loads(
+            (BASELINES / "smoke_pipeline.json").read_text()
+        )["metrics"]["pc.simulated_seconds"]
+        assert baseline["stddev"] == 0.0
+        # Bit-identical, not allclose: the simulator's arithmetic is a
+        # deterministic function of the machine model and event order,
+        # and the baseline predates the executor abstraction.
+        assert self._pc_elapsed() == baseline["mean"]
+
+    def test_simulated_seconds_repeatable(self):
+        assert self._pc_elapsed() == self._pc_elapsed()
