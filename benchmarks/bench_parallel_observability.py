@@ -1,0 +1,247 @@
+"""Wall-clock observability smoke for the ``threads`` execution backend.
+
+Runs one traced producer-consumer matvec on the real-parallel backend and
+checks the whole observability chain end to end:
+
+- the saved trace is a Perfetto-loadable wall-clock timeline with
+  per-thread tracks and job tags (``clock: "wall"`` at the top level);
+- the OpenMetrics export carries the contention families — lock wait/hold
+  histograms, queue depth gauges, per-worker busy/blocked seconds — and
+  passes the strict :func:`repro.telemetry.parse_openmetrics` validator;
+- every ``repro-inspect`` report runs on the wall trace, and
+  ``calibrate`` aligns it against a matching :class:`SimExecutor` trace
+  (model vs measured, per phase);
+- **hard gate**: with tracing disabled the dormant instrumentation hooks
+  cost at most 2% over the fully-instrumented run (same warm plan,
+  best-of-N, mirroring ``bench_smoke_pipeline``'s overhead gate — the
+  instrumented run does strictly more work, so "disabled" may never come
+  out slower beyond timer noise).
+
+The produced artifacts land in ``benchmarks/results/`` so CI can replay
+the ``repro-inspect`` subcommands against them:
+``parallel_observability_wall_trace.json`` (threads, wall clock),
+``parallel_observability_sim_trace.json`` (sim reference, sim clock), and
+``parallel_observability.om`` (OpenMetrics exposition).
+
+The full run uses the paper-style 24-site chain sector; ``BENCH_SMOKE=1``
+drops to 16 sites so CI stays fast.  Worker count comes from the first
+entry of ``PARALLEL_BENCH_WORKERS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from conftest import RESULTS_DIR, write_result
+from repro.basis import SymmetricBasis
+from repro.distributed import (
+    DistributedOperator,
+    DistributedVector,
+    enumerate_states,
+)
+from repro.runtime import Cluster, laptop_machine
+from repro.symmetry import chain_symmetries
+from repro.telemetry import (
+    Telemetry,
+    analyze_trace,
+    parse_openmetrics,
+    render_openmetrics,
+    use,
+)
+from repro.telemetry.analysis import calibrate_traces
+from repro.telemetry.jobs import job
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+CHAIN = 16 if SMOKE else 24
+WEIGHT = CHAIN // 2
+BATCH_SIZE = 64 if SMOKE else 2048
+REPEATS = 7
+WORKERS = int(
+    os.environ.get("PARALLEL_BENCH_WORKERS", "4").split(",")[0]
+)
+
+WALL_TRACE = RESULTS_DIR / "parallel_observability_wall_trace.json"
+SIM_TRACE = RESULTS_DIR / "parallel_observability_sim_trace.json"
+OPENMETRICS = RESULTS_DIR / "parallel_observability.om"
+
+#: Contention families the threads backend must export (OpenMetrics
+#: sanitizes the dots in registry names to underscores; registry
+#: histograms render as ``summary`` families with ``_count``/``_sum``).
+REQUIRED_FAMILIES = {
+    "executor_lock_wait_seconds": "summary",
+    "executor_lock_hold_seconds": "summary",
+    "executor_queue_wait_seconds": "summary",
+    "executor_resource_wait_seconds": "summary",
+    "executor_resource_hold_seconds": "summary",
+    "executor_queue_depth": "gauge",
+    "executor_queue_depth_max": "gauge",
+    "executor_worker_busy_seconds": "counter",
+    "executor_worker_blocked_seconds": "counter",
+}
+
+
+def _distributed_setup(backend):
+    group = chain_symmetries(CHAIN, momentum=0, parity=0, inversion=0)
+    serial = SymmetricBasis(group, hamming_weight=WEIGHT)
+    expr = repro.heisenberg_chain(CHAIN)
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal(serial.dim).astype(serial.scalar_dtype)
+    cluster = Cluster(WORKERS, laptop_machine(cores=2), backend=backend)
+    template = SymmetricBasis(group, hamming_weight=WEIGHT, build=False)
+    dbasis, _ = enumerate_states(cluster, template, use_weight_shortcut=True)
+    dx = DistributedVector.from_serial(dbasis, serial, x)
+    dop = DistributedOperator(expr, dbasis, method="pc", batch_size=BATCH_SIZE)
+    return dop, dx
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """Traced threads + sim runs; saves the trace/metrics artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    dop, dx = _distributed_setup("threads")
+    dop.matvec(dx)  # warm the plan so the trace shows the replay path
+    tele = Telemetry.enabled()
+    with use(tele):
+        with job("observability-bench", tenant="bench", workload="pc"):
+            t0 = time.perf_counter()
+            dop.matvec(dx)
+            wall_elapsed = time.perf_counter() - t0
+    tele.trace.save(WALL_TRACE)
+    exposition = render_openmetrics(tele.metrics.snapshot(), tele.jobs)
+    OPENMETRICS.write_text(exposition)
+
+    sim_dop, sim_dx = _distributed_setup("sim")
+    sim_tele = Telemetry.enabled()
+    with use(sim_tele):
+        with job("observability-bench", tenant="bench", workload="pc"):
+            sim_dop.matvec(sim_dx)
+    sim_tele.trace.save(SIM_TRACE)
+
+    return wall_elapsed, exposition
+
+
+def test_wall_trace_has_per_thread_timeline(traced_runs):
+    """The saved threads trace is a job-tagged wall-clock timeline."""
+    chrome = json.loads(WALL_TRACE.read_text())
+    assert chrome["clock"] == "wall"
+    spans = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+    assert spans, "threads trace recorded no spans"
+    tracks = {(e["pid"], e["tid"]) for e in spans}
+    assert len(tracks) >= WORKERS, (
+        f"expected >= {WORKERS} per-thread tracks, got {sorted(tracks)}"
+    )
+    tagged = [
+        e
+        for e in spans
+        if (e.get("args") or {}).get("job") == "observability-bench"
+    ]
+    assert tagged, "no spans carry the job tag"
+
+
+def test_contention_families_in_openmetrics(traced_runs):
+    """Strict OpenMetrics parse + the full contention family contract."""
+    _, exposition = traced_runs
+    families = parse_openmetrics(exposition)
+    for name, kind in REQUIRED_FAMILIES.items():
+        assert name in families, f"missing metric family {name}"
+        assert families[name]["type"] == kind, name
+        assert families[name]["samples"], f"family {name} has no samples"
+    lock_sum = sum(
+        value
+        for sample, _, value in families["executor_lock_hold_seconds"][
+            "samples"
+        ]
+        if sample.endswith("_count")
+    )
+    assert lock_sum > 0, "no lock hold observations recorded"
+
+
+def test_inspect_reports_run_on_wall_trace(traced_runs):
+    analysis = analyze_trace(str(WALL_TRACE))
+    assert analysis.clock == "wall"
+    assert analysis.makespan > 0.0
+    assert analysis.n_locales == WORKERS
+
+
+def test_calibrate_aligns_model_and_measured(traced_runs):
+    report = calibrate_traces(str(SIM_TRACE), str(WALL_TRACE))
+    assert report["clock"] == {"model": "sim", "measured": "wall"}
+    assert report["makespan_ratio"] > 0.0
+    assert report["phases"], "calibrate produced no per-phase rows"
+
+
+def test_disabled_tracing_overhead_within_two_percent():
+    """Hard gate: tracing off must cost <= 2% over tracing on.
+
+    Same plan, same vectors; the instrumented run records spans, metrics,
+    and job attribution, so it does strictly more work than the disabled
+    run — any systematic slowdown of the disabled path would mean the
+    dormant hooks themselves regressed.
+    """
+    dop, dx = _distributed_setup("threads")
+    dop.matvec(dx)  # warm the plan cache
+
+    def timed_off() -> float:
+        start = time.perf_counter()
+        dop.matvec(dx)
+        return time.perf_counter() - start
+
+    def timed_on() -> float:
+        tele = Telemetry.enabled()
+        with use(tele):
+            with job("overhead-gate"):
+                start = time.perf_counter()
+                dop.matvec(dx)
+                return time.perf_counter() - start
+
+    t_off = min(timed_off() for _ in range(REPEATS))
+    t_on = min(timed_on() for _ in range(REPEATS))
+    assert t_off <= 1.02 * t_on, (
+        f"tracing-disabled threads matvec took {t_off:.6f}s vs {t_on:.6f}s "
+        f"instrumented — dormant profiling hooks cost more than 2%"
+    )
+
+
+def test_write_artifact(traced_runs):
+    wall_elapsed, exposition = traced_runs
+    analysis = analyze_trace(str(WALL_TRACE))
+    report = calibrate_traces(str(SIM_TRACE), str(WALL_TRACE))
+    families = parse_openmetrics(exposition)
+    data = {
+        "wall_seconds": wall_elapsed,
+        "makespan_ratio": report["makespan_ratio"],
+        "stall_fraction": analysis.stall_fraction,
+        "overlap_efficiency": analysis.overlap_efficiency,
+        "trace_spans": float(
+            sum(
+                1
+                for e in json.loads(WALL_TRACE.read_text())["traceEvents"]
+                if e.get("ph") == "X"
+            )
+        ),
+        "metric_families": float(len(families)),
+    }
+    lines = [
+        f"chain-{CHAIN} traced pc matvec, threads backend "
+        f"({WORKERS} workers, batch {BATCH_SIZE})",
+        f"wall seconds      {wall_elapsed:12.6f}",
+        f"makespan ratio    {report['makespan_ratio']:12.3f}  "
+        "(measured wall / modelled sim)",
+        f"stall fraction    {analysis.stall_fraction:12.4f}",
+        f"overlap eff.      {analysis.overlap_efficiency:12.4f}",
+        f"trace spans       {int(data['trace_spans']):12d}",
+        f"metric families   {int(data['metric_families']):12d}",
+    ]
+    write_result(
+        "parallel_observability",
+        "\n".join(lines),
+        data,
+        worker_count=WORKERS,
+    )

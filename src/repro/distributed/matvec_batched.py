@@ -124,7 +124,9 @@ def matvec_batched(
         )
 
     # -- data phase ---------------------------------------------------------
-    consume_locks = [ex.lock() for _ in range(n)]
+    # Named per-destination locks key the executor.lock_* contention
+    # histograms on the threads backend (no-op contexts on sim).
+    consume_locks = [ex.lock(f"consume{locale}") for locale in range(n)]
     chunks = [
         (locale, start, min(start + batch_size, int(basis.counts[locale])))
         for locale in range(n)
@@ -259,11 +261,15 @@ def matvec_batched(
     report.elapsed = data_wall if ex.wall_clock else model_elapsed
     if ex.wall_clock:
         report.extras["model_seconds"] = model_elapsed
+        # The map-based data phase never goes through ex.run(): merge any
+        # buffered lock wait/hold metrics explicitly.
+        ex.finish()
     report.merge_phase("matvec", report.elapsed)
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
     if trace is not None:
         if ex.wall_clock:
+            trace.mark_wall()
             for locale in range(n):
                 if task_wall[locale] > 0.0:
                     trace.complete(

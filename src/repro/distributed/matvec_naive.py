@@ -119,7 +119,9 @@ def matvec_naive(
     pair_elements = np.zeros((n, n), dtype=np.int64)
 
     # -- data phase ---------------------------------------------------------
-    consume_locks = [ex.lock() for _ in range(n)]
+    # Named per-destination locks key the executor.lock_* contention
+    # histograms on the threads backend (no-op contexts on sim).
+    consume_locks = [ex.lock(f"consume{locale}") for locale in range(n)]
     chunks = [
         (locale, start, min(start + batch_size, int(basis.counts[locale])))
         for locale in range(n)
@@ -292,7 +294,11 @@ def matvec_naive(
     if ex.wall_clock:
         report.elapsed = data_wall
         report.extras["model_seconds"] = model_elapsed
+        # The map-based data phase never goes through ex.run(): merge any
+        # buffered lock wait/hold metrics explicitly.
+        ex.finish()
         if trace is not None:
+            trace.mark_wall()
             for locale in range(n):
                 if task_wall[locale] > 0.0:
                     trace.complete(

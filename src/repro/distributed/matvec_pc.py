@@ -260,8 +260,9 @@ def matvec_producer_consumer(
     drained = ex.flag(False)
     consumer_counts = {locale: ex.counter(sim_cons) for locale in range(n)}
     # One lock per destination locale guards the shared scatter-add into
-    # y.parts[dest] on the threads backend (no-op contexts on sim).
-    consume_locks = [ex.lock() for _ in range(n)]
+    # y.parts[dest] on the threads backend (no-op contexts on sim); the
+    # name keys the executor.lock_* contention histograms.
+    consume_locks = [ex.lock(f"consume{locale}") for locale in range(n)]
 
     # Chunk lists per locale; the cursor counters hand out chunk indices
     # atomically on both backends.
@@ -884,6 +885,7 @@ def _shared_memory_matvec(
         report.merge_phase("matvec", elapsed)
         report.extras["model_seconds"] = model_elapsed
         if trace is not None:
+            trace.mark_wall()
             trace.complete(("locale0", "worker0"), "matvec", 0.0, elapsed)
             trace.advance(elapsed)
     else:

@@ -122,6 +122,7 @@ class Process:
 
     __slots__ = (
         "gen", "name", "finished", "track", "block_name", "block_start",
+        "block_primitive", "block_target", "busy_seconds", "blocked_seconds",
         "locale", "slowdown", "waiting_on",
     )
 
@@ -141,6 +142,14 @@ class Process:
         #: while blocked: the stall-span name and its start time
         self.block_name: str | None = None
         self.block_start = 0.0
+        #: while blocked: the executor primitive ("flag"/"queue"/"resource")
+        #: and its target name, for the profiler's wait histograms
+        self.block_primitive: str | None = None
+        self.block_target: str | None = None
+        #: accumulated modelled Timeout seconds / blocking-wait seconds
+        #: (observed as executor.worker_{busy,blocked}_seconds at exit)
+        self.busy_seconds = 0.0
+        self.blocked_seconds = 0.0
         #: simulated locale this process runs on (None = not locale-bound)
         self.locale = locale
         #: straggler factor: every Timeout is stretched by this much
@@ -199,6 +208,8 @@ class SimFlag:
             process,
             "stall",
             f"flag {self.name}={value}" if self.name else f"flag={value}",
+            primitive="flag",
+            target=self.name or "flag",
         )
         waiter = _Waiter(process)
         self._waiters[value].append(waiter)
@@ -225,12 +236,17 @@ class SimQueue:
         return len(self._items)
 
     def _sample_depth(self) -> None:
+        if self.name is None:
+            return
         trace = self._sim._trace
-        if trace is not None and self.name is not None:
+        if trace is not None:
             trace.counter(
                 ("queues", self.name), self.name, self._sim.now,
                 len(self._items),
             )
+        profile = self._sim._profile
+        if profile is not None:
+            profile.queue_depth(self.name, len(self._items))
 
     def push(self, item: Any) -> None:
         if self._waiters:
@@ -246,7 +262,11 @@ class SimQueue:
             self._sample_depth()
         else:
             self._sim._mark_blocked(
-                process, "idle", f"queue {self.name or '<anonymous>'}"
+                process,
+                "idle",
+                f"queue {self.name or '<anonymous>'}",
+                primitive="queue",
+                target=self.name or "queue",
             )
             self._waiters.append(process)
 
@@ -255,10 +275,13 @@ class SimResource:
     """A counted resource with FIFO waiters (e.g. a NIC port).
 
     A named resource on a tracing simulator emits an in-use counter
-    sample at every acquire/release transition.
+    sample at every acquire/release transition.  On a metering simulator
+    the grant timestamps feed ``executor.resource_hold_seconds`` (FIFO
+    matching of grants to releases — exact for the capacity-1 NIC ports,
+    an approximation for wider resources).
     """
 
-    __slots__ = ("_sim", "capacity", "in_use", "_waiters", "name")
+    __slots__ = ("_sim", "capacity", "in_use", "_waiters", "name", "_grants")
 
     def __init__(
         self, sim: "Simulator", capacity: int = 1, name: str | None = None
@@ -268,6 +291,8 @@ class SimResource:
         self.in_use = 0
         self._waiters: deque[Process] = deque()
         self.name = name
+        #: simulated grant timestamps, FIFO-matched to releases
+        self._grants: deque = deque()
 
     def _sample_in_use(self) -> None:
         trace = self._sim._trace
@@ -280,6 +305,8 @@ class SimResource:
     def _acquire(self, process: Process) -> None:
         if self.in_use < self.capacity:
             self.in_use += 1
+            if self._sim._profile is not None:
+                self._grants.append(self._sim.now)
             self._sim._schedule(0.0, process, None)
             self._sample_in_use()
         else:
@@ -287,12 +314,24 @@ class SimResource:
                 process,
                 "wait:" + self.name if self.name is not None else "wait:resource",
                 f"resource {self.name or '<anonymous>'}",
+                primitive="resource",
+                target=self.name or "resource",
             )
             self._waiters.append(process)
 
     def release(self) -> None:
+        profile = self._sim._profile
+        if profile is not None and self._grants:
+            profile.hold(
+                "resource",
+                self.name or "resource",
+                self._sim.now - self._grants.popleft(),
+            )
         if self._waiters:
             process = self._waiters.popleft()
+            if profile is not None:
+                # Direct hand-off: the next holder's grant starts now.
+                self._grants.append(self._sim.now)
             self._sim._schedule(0.0, process, None)
         else:
             self.in_use -= 1
@@ -316,7 +355,7 @@ class Simulator:
     specs kill those processes once the clock passes the crash time.
     """
 
-    def __init__(self, trace=None, faults=None) -> None:
+    def __init__(self, trace=None, faults=None, profile=None) -> None:
         self.now = 0.0
         self._heap: list[tuple[float, int, Any, Any]] = []
         self._sequence = 0
@@ -324,6 +363,13 @@ class Simulator:
         # Only keep an enabled recorder; every tracing site then guards on
         # a single `is not None` check, so untraced runs stay fast.
         self._trace = trace if trace is not None and trace.enabled else None
+        # Metering profiler (executor.* wait/hold histograms, worker
+        # seconds, queue depth gauges): observation only — it never
+        # schedules events or reads the heap, so simulated timings stay
+        # bit-identical with or without it.
+        self._profile = (
+            profile if profile is not None and profile.metering else None
+        )
         self._faults = faults
         self._crashes: dict[int, float] = (
             faults.take_crashes() if faults is not None else {}
@@ -363,13 +409,20 @@ class Simulator:
         return process
 
     def _mark_blocked(
-        self, process: Process, kind: str, detail: str | None = None
+        self,
+        process: Process,
+        kind: str,
+        detail: str | None = None,
+        primitive: str | None = None,
+        target: str | None = None,
     ) -> None:
         """Remember that a process just blocked (stall span + watchdog)."""
         process.waiting_on = detail if detail is not None else kind
-        if self._trace is not None:
+        if self._trace is not None or self._profile is not None:
             process.block_name = kind
             process.block_start = self.now
+            process.block_primitive = primitive
+            process.block_target = target
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` simulated seconds (fire-and-forget,
@@ -405,6 +458,13 @@ class Simulator:
         process.finished = True
         self._active -= 1
         process.gen.close()
+        if self._profile is not None and process.name != "call_later":
+            self._profile.worker(
+                process.name,
+                process.locale,
+                process.busy_seconds,
+                process.blocked_seconds,
+            )
         locale = process.locale
         if locale is not None and locale not in self.crashed_locales:
             self.crashed_locales.add(locale)
@@ -434,23 +494,44 @@ class Simulator:
                 self._kill(process)
                 return
         trace = self._trace
-        if trace is not None and process.block_name is not None:
+        profile = self._profile
+        if process.block_name is not None:
             # The process was blocked and is resuming now: emit its stall
             # span (zero-length stalls are dropped to keep traces small).
-            if self.now > process.block_start:
+            waited = self.now - process.block_start
+            if trace is not None and waited > 0.0:
                 trace.complete(
                     process.track,
                     process.block_name,
                     process.block_start,
-                    self.now - process.block_start,
+                    waited,
+                )
+            if profile is not None and process.block_primitive is not None:
+                process.blocked_seconds += waited
+                profile.wait(
+                    process.block_primitive,
+                    process.block_target or process.block_primitive,
+                    waited,
                 )
             process.block_name = None
+            process.block_primitive = None
+            process.block_target = None
         process.waiting_on = None
         try:
             command = process.gen.send(value)
         except StopIteration:
             process.finished = True
             self._active -= 1
+            if profile is not None and process.name != "call_later":
+                # call_later helpers are sim-internal plumbing (the
+                # threads backend runs them inline) — skipping them keeps
+                # the worker-seconds families symmetric across backends.
+                profile.worker(
+                    process.name,
+                    process.locale,
+                    process.busy_seconds,
+                    process.blocked_seconds,
+                )
             return
         if isinstance(command, Timeout):
             delay = max(command.delay, 0.0) * process.slowdown
@@ -462,6 +543,8 @@ class Simulator:
                     delay,
                     command.args,
                 )
+            if profile is not None:
+                process.busy_seconds += delay
             self._schedule(delay, process, None)
         elif isinstance(command, WaitFlag):
             command.flag._wait(process, command.value, command.timeout)

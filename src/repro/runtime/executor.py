@@ -62,6 +62,12 @@ from repro.runtime.events import (
     Timeout,
     WaitFlag,
 )
+from repro.telemetry.context import current as _current_telemetry
+from repro.telemetry.profile import (
+    NULL_PROFILER,
+    ExecutorProfiler,
+    ProfiledLock,
+)
 
 __all__ = [
     "BACKENDS",
@@ -80,15 +86,21 @@ _NULL_CONTEXT = nullcontext()
 
 class _SimCounter:
     """A shared counter on the simulator: plain Python is already atomic
-    between yields, so this is just an int with the executor-counter API."""
+    between yields, so this is just an int with the executor-counter API.
 
-    __slots__ = ("value",)
+    ``ops`` counts ``add`` calls; a profiling executor drains it into the
+    ``executor.counter_adds`` metric at :meth:`Executor.finish`.
+    """
+
+    __slots__ = ("value", "ops")
 
     def __init__(self, value: float = 0) -> None:
         self.value = value
+        self.ops = 0
 
     def add(self, amount: float = 1):
         self.value += amount
+        self.ops += 1
         return self.value
 
     def get(self):
@@ -98,15 +110,17 @@ class _SimCounter:
 class _ThreadCounter:
     """A lock-guarded counter (threads mutate it concurrently)."""
 
-    __slots__ = ("value", "_lock")
+    __slots__ = ("value", "ops", "_lock")
 
     def __init__(self, value: float = 0) -> None:
         self.value = value
+        self.ops = 0
         self._lock = threading.Lock()
 
     def add(self, amount: float = 1):
         with self._lock:
             self.value += amount
+            self.ops += 1
             return self.value
 
     def get(self):
@@ -166,13 +180,33 @@ class Executor:
     Class attributes ``name`` ("sim"/"threads") and ``wall_clock``
     (whether timings are wall seconds) let callers label reports without
     isinstance checks.
+
+    Every executor carries an
+    :class:`~repro.telemetry.profile.ExecutorProfiler` (``self.profile``,
+    built from the ambient telemetry bundle unless one is passed in) and
+    both backends feed it the *same* span and metric vocabulary — the
+    simulator with modelled durations, the threads backend with measured
+    ones.  Callers that do not drive everything through ``run()`` (the
+    ``map``-based analytic variants) should call :meth:`finish` once at
+    the end to merge the buffered telemetry.
     """
 
     name: str = "abstract"
     wall_clock: bool = False
+    profile: ExecutorProfiler = NULL_PROFILER
 
     def barrier(self, parties: int) -> Barrier:
         return Barrier(self, parties)
+
+    def finish(self) -> None:
+        """Merge buffered profiling data into the trace/metrics sinks.
+
+        Idempotent; a no-op when profiling is disabled.  ``run()`` calls
+        it on both backends — on the threads backend even when the run
+        failed, so partial traces stay inspectable.
+        """
+        if self.profile.enabled:
+            self.profile.flush()
 
 
 class SimExecutor(Executor):
@@ -187,8 +221,20 @@ class SimExecutor(Executor):
     name = "sim"
     wall_clock = False
 
-    def __init__(self, trace=None, faults=None) -> None:
-        self.sim = Simulator(trace=trace, faults=faults)
+    def __init__(self, trace=None, faults=None, profile=None) -> None:
+        if profile is None:
+            profile = ExecutorProfiler(
+                trace=None, metrics=_current_telemetry().metrics
+            )
+        self.profile = profile
+        # The simulator writes trace spans directly (single thread,
+        # monotone simulated time); the profiler only carries the metric
+        # side here, so traces of untouched sim runs are byte-identical.
+        self.sim = Simulator(
+            trace=trace,
+            faults=faults,
+            profile=profile if profile.metering else None,
+        )
         self.mutex = _NULL_CONTEXT
 
     # -- primitives ---------------------------------------------------------
@@ -203,9 +249,14 @@ class SimExecutor(Executor):
         return self.sim.resource(capacity, name)
 
     def counter(self, value: float = 0) -> _SimCounter:
-        return _SimCounter(value)
+        counter = _SimCounter(value)
+        if self.profile.metering:
+            self.profile.register_counter(counter)
+        return counter
 
-    def lock(self):
+    def lock(self, name: str | None = None):
+        # Locks cannot contend on the single-threaded simulator; the
+        # executor.lock_* metric families are threads-only by design.
         return _NULL_CONTEXT
 
     # -- processes ----------------------------------------------------------
@@ -223,7 +274,12 @@ class SimExecutor(Executor):
         self.sim.call_later(delay, fn)
 
     def run(self, until: float | None = None) -> float:
-        return self.sim.run(until)
+        try:
+            return self.sim.run(until)
+        finally:
+            # Merge profiling data even when the simulation deadlocked —
+            # the partial figures are the post-mortem evidence.
+            self.finish()
 
     @property
     def now(self) -> float:
@@ -266,7 +322,14 @@ class _ThreadFlag:
 
 
 class _ThreadQueue:
-    """An unbounded FIFO with blocking pop on the executor's condition."""
+    """An unbounded FIFO with blocking pop on the executor's condition.
+
+    A named queue on a profiling executor records depth on every push/pop
+    transition — a gauge pair for the contention metrics and, when
+    tracing, counter samples on the same ``("queues", name)`` track the
+    simulator uses.  All pushes/pops run under the executor's condition
+    variable, which serializes the profiler updates.
+    """
 
     __slots__ = ("_ex", "_items", "name")
 
@@ -278,16 +341,39 @@ class _ThreadQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    def _sample_depth(self) -> None:
+        # Callers hold self._ex._cv.
+        if self.name is None:
+            return
+        ex = self._ex
+        depth = len(self._items)
+        if ex._metering:
+            ex.profile.queue_depth(self.name, depth)
+        if ex._tracing:
+            ex.profile.sample(
+                ("queues", self.name), self.name, ex.now, depth
+            )
+
     def push(self, item: Any) -> None:
         with self._ex._cv:
             self._items.append(item)
+            if self._ex.profile.enabled:
+                self._sample_depth()
             self._ex._wake()
 
 
 class _ThreadResource:
-    """A counted resource; acquisition parks on the executor's condition."""
+    """A counted resource; acquisition parks on the executor's condition.
 
-    __slots__ = ("_ex", "capacity", "in_use", "name")
+    On a profiling executor, grant times queue up in ``_grants`` (FIFO —
+    exact for the capacity-1 NIC resources, an approximation for wider
+    capacities) and every release observes an
+    ``executor.resource_hold_seconds`` figure; named resources also emit
+    in-use counter samples on the ``("resources", name)`` trace track.
+    Grant and release both run under the executor's condition variable.
+    """
+
+    __slots__ = ("_ex", "capacity", "in_use", "name", "_grants")
 
     def __init__(
         self, ex: "ThreadExecutor", capacity: int = 1, name: str | None = None
@@ -296,17 +382,41 @@ class _ThreadResource:
         self.capacity = capacity
         self.in_use = 0
         self.name = name
+        self._grants: deque = deque()
+
+    def _sample_in_use(self) -> None:
+        # Callers hold self._ex._cv.
+        if self.name is not None and self._ex._tracing:
+            self._ex.profile.sample(
+                ("resources", self.name), self.name, self._ex.now, self.in_use
+            )
+
+    def _granted(self) -> None:
+        # Callers hold self._ex._cv; the acquiring worker just got a unit.
+        if self._ex._metering:
+            self._grants.append(time.perf_counter())
+        self._sample_in_use()
 
     def release(self) -> None:
-        with self._ex._cv:
+        ex = self._ex
+        with ex._cv:
             self.in_use -= 1
-            self._ex._wake()
+            if ex._metering and self._grants:
+                ex.profile.hold(
+                    "resource",
+                    self.name or "resource",
+                    time.perf_counter() - self._grants.popleft(),
+                )
+            self._sample_in_use()
+            ex._wake()
 
 
 class _ThreadProcess:
     """Bookkeeping for one generator driven on its own thread."""
 
-    __slots__ = ("gen", "name", "track", "locale", "thread", "waiting_on")
+    __slots__ = (
+        "gen", "name", "track", "locale", "thread", "waiting_on", "buffer",
+    )
 
     def __init__(self, gen, name, track, locale) -> None:
         self.gen = gen
@@ -316,6 +426,8 @@ class _ThreadProcess:
         self.thread: threading.Thread | None = None
         #: description of the blocking wait, or None while running
         self.waiting_on: str | None = None
+        #: per-process span buffer when tracing, else None
+        self.buffer = None
 
 
 class ThreadExecutor(Executor):
@@ -332,6 +444,17 @@ class ThreadExecutor(Executor):
     ``contextvars`` (the ambient job scope) are copied into every worker
     thread, so job-scoped metric fan-out attributes identically to the
     simulator backend.
+
+    With profiling enabled (an enabled trace and/or metrics registry),
+    every primitive is observed: blocking waits become per-thread
+    ``stall`` / ``idle`` / ``wait:*`` spans *and* wait-duration
+    histograms, resources and locks additionally record hold durations,
+    named queues record depth, and each worker's lifetime busy/blocked
+    seconds land in the ``executor.worker_*_seconds`` counters.  Workers
+    write spans into bounded per-thread buffers
+    (:class:`~repro.telemetry.profile.SpanBuffer`) — no shared-lock
+    traffic on the hot path — merged into the recorder by ``run()``
+    after the threads join, on success *and* on failure.
     """
 
     name = "threads"
@@ -341,10 +464,22 @@ class ThreadExecutor(Executor):
     #: watchdog declares a deadlock
     watchdog_seconds = 20.0
 
-    def __init__(self, trace=None, n_workers: int | None = None) -> None:
+    def __init__(
+        self, trace=None, n_workers: int | None = None, profile=None
+    ) -> None:
         self._cv = threading.Condition()
-        self._trace = trace if trace is not None and trace.enabled else None
-        self.mutex = threading.RLock()
+        if profile is None:
+            profile = ExecutorProfiler(
+                trace=trace, metrics=_current_telemetry().metrics, wall=True
+            )
+        self.profile = profile
+        self._tracing = profile.tracing
+        self._metering = profile.metering
+        self.mutex = (
+            ProfiledLock(threading.RLock(), profile, "mutex")
+            if self._metering
+            else threading.RLock()
+        )
         self.n_workers = (
             n_workers if n_workers is not None else (os.cpu_count() or 1)
         )
@@ -368,9 +503,16 @@ class ThreadExecutor(Executor):
         return _ThreadResource(self, capacity, name)
 
     def counter(self, value: float = 0) -> _ThreadCounter:
-        return _ThreadCounter(value)
+        counter = _ThreadCounter(value)
+        if self._metering:
+            self.profile.register_counter(counter)
+        return counter
 
-    def lock(self):
+    def lock(self, name: str | None = None):
+        if self._metering:
+            return ProfiledLock(
+                threading.Lock(), self.profile, name or "lock"
+            )
         return threading.Lock()
 
     @property
@@ -443,6 +585,8 @@ class ThreadExecutor(Executor):
         locale: int | None = None,
     ) -> _ThreadProcess:
         proc = _ThreadProcess(gen, name, track, locale)
+        if self._tracing:
+            proc.buffer = self.profile.buffer(proc.track)
         self._processes.append(proc)
         if self._t0 is None:
             self._t0 = time.perf_counter()
@@ -463,28 +607,29 @@ class ThreadExecutor(Executor):
         # visible, exactly like a same-node atomic.
         fn()
 
-    def _span(self, proc: _ThreadProcess, label, start, duration, args=None):
-        if self._trace is not None and duration > 0.0:
-            with self.mutex:
-                self._trace.complete(proc.track, label, start, duration, args)
-
     def _drive(self, proc: _ThreadProcess) -> None:
         gen = proc.gen
         value: Any = None
+        prof = self.profile
+        metering = self._metering
+        buf = proc.buffer
+        t0 = self._t0
+        busy = 0.0
+        blocked = 0.0
         last_resume = time.perf_counter()
         try:
             while True:
                 command = gen.send(value)
                 value = None
                 blocked_at = time.perf_counter()
+                busy += blocked_at - last_resume
                 if isinstance(command, Timeout):
                     # Charge-after-work: the span covers the real work
                     # done since the last yield; nothing sleeps.
-                    if command.label is not None:
-                        self._span(
-                            proc,
+                    if buf is not None and command.label is not None:
+                        buf.span(
                             command.label,
-                            last_resume - self._t0,
+                            last_resume - t0,
                             blocked_at - last_resume,
                             command.args,
                         )
@@ -505,7 +650,12 @@ class ThreadExecutor(Executor):
                             deadline,
                         )
                     value = ok
-                    self._stall(proc, "stall", blocked_at)
+                    waited = time.perf_counter() - blocked_at
+                    blocked += waited
+                    if buf is not None and waited > 0.0:
+                        buf.span("stall", blocked_at - t0, waited)
+                    if metering:
+                        prof.wait("flag", flag.name or "flag", waited)
                 elif isinstance(command, Pop):
                     queue = command.queue
                     with self._cv:
@@ -515,7 +665,14 @@ class ThreadExecutor(Executor):
                             f"queue {queue.name or '<anonymous>'}",
                         )
                         value = queue._items.popleft()
-                    self._stall(proc, "idle", blocked_at)
+                        if prof.enabled:
+                            queue._sample_depth()
+                    waited = time.perf_counter() - blocked_at
+                    blocked += waited
+                    if buf is not None and waited > 0.0:
+                        buf.span("idle", blocked_at - t0, waited)
+                    if metering:
+                        prof.wait("queue", queue.name or "queue", waited)
                 elif isinstance(command, Acquire):
                     resource = command.resource
                     with self._cv:
@@ -525,13 +682,22 @@ class ThreadExecutor(Executor):
                             f"resource {resource.name or '<anonymous>'}",
                         )
                         resource.in_use += 1
-                    self._stall(
-                        proc,
-                        "wait:" + resource.name
-                        if resource.name is not None
-                        else "wait:resource",
-                        blocked_at,
-                    )
+                        if prof.enabled:
+                            resource._granted()
+                    waited = time.perf_counter() - blocked_at
+                    blocked += waited
+                    if buf is not None and waited > 0.0:
+                        buf.span(
+                            "wait:" + resource.name
+                            if resource.name is not None
+                            else "wait:resource",
+                            blocked_at - t0,
+                            waited,
+                        )
+                    if metering:
+                        prof.wait(
+                            "resource", resource.name or "resource", waited
+                        )
                 else:
                     raise TypeError(
                         f"process {proc.name!r} yielded {command!r}; "
@@ -544,14 +710,9 @@ class ThreadExecutor(Executor):
             pass
         except BaseException as exc:  # noqa: BLE001 - converted to BackendError
             self._fail(exc, proc)
-
-    def _stall(self, proc: _ThreadProcess, kind: str, blocked_at: float) -> None:
-        self._span(
-            proc,
-            kind,
-            blocked_at - self._t0,
-            time.perf_counter() - blocked_at,
-        )
+        finally:
+            if metering:
+                prof.worker(proc.name, proc.locale, busy, blocked)
 
     def run(self, until: float | None = None) -> float:
         """Join all workers; returns wall-clock seconds since first spawn.
@@ -601,6 +762,10 @@ class ThreadExecutor(Executor):
                     None,
                 )
         elapsed = time.perf_counter() - self._t0
+        # All workers have joined: merge the per-thread span buffers and
+        # contention metrics *before* propagating any failure, so the
+        # partial trace of a failed or deadlocked run stays inspectable.
+        self.finish()
         if self._failure is not None:
             raise self._failure
         return elapsed

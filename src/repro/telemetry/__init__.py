@@ -20,7 +20,15 @@ the trace schema and the metric-name catalogue.
 Post-mortem analysis lives in :mod:`repro.telemetry.analysis`
 (:func:`analyze_trace`, the ``repro-inspect`` CLI): per-locale span
 accounting, pipeline overlap efficiency, load-imbalance index, critical
-path, and the locale×locale communication matrix.
+path, and the locale×locale communication matrix — on both clock
+domains, plus ``repro-inspect calibrate`` for model-vs-measured ratios.
+
+:mod:`repro.telemetry.profile` extends the same sinks to the real
+``threads`` backend: bounded per-thread :class:`SpanBuffer` objects feed
+wall-clock traces (``clock: wall``), and the
+:class:`ExecutorProfiler` / :class:`ProfiledLock` pair exports executor
+contention metrics (lock/flag/queue/resource wait-and-hold histograms,
+queue depth gauges, per-worker busy/blocked seconds).
 """
 
 from repro.telemetry.context import (
@@ -46,6 +54,11 @@ from repro.telemetry.metrics import (
     MetricsSnapshot,
     NullMetricsRegistry,
 )
+from repro.telemetry.profile import (
+    ExecutorProfiler,
+    ProfiledLock,
+    SpanBuffer,
+)
 from repro.telemetry.trace import NullTraceRecorder, TraceRecorder
 
 __all__ = [
@@ -68,8 +81,12 @@ __all__ = [
     "job",
     "ndarray_bytes",
     "attribute_report",
+    "ExecutorProfiler",
+    "SpanBuffer",
+    "ProfiledLock",
     "TraceAnalysis",
     "analyze_trace",
+    "calibrate_traces",
     "communication_matrix_from_metrics",
     "load_spans",
     "render_openmetrics",
@@ -82,6 +99,7 @@ __all__ = [
 _ANALYSIS_EXPORTS = {
     "TraceAnalysis",
     "analyze_trace",
+    "calibrate_traces",
     "communication_matrix_from_metrics",
     "load_spans",
 }

@@ -34,6 +34,7 @@ Use it as a library (:func:`analyze_trace`) or from the command line::
     python -m repro.telemetry.analysis diff before.json after.json
     python -m repro.telemetry.analysis cost trace.json
     python -m repro.telemetry.analysis jobs trace.json
+    python -m repro.telemetry.analysis calibrate sim_trace.json wall_trace.json
 
 (also installed as the ``repro-inspect`` console script).  The ``diff``
 subcommand compares two traces or two metrics snapshots and prints the
@@ -43,6 +44,16 @@ deltas — the manual half of the regression gating that
 args (see :mod:`repro.telemetry.jobs`) and prints the per-job cost
 attribution table; ``jobs`` lists the jobs a trace recorded, with their
 tenant/workload tags and activity window.
+
+Every report works on both clock domains — the simulator's simulated
+seconds and the threads backend's measured wall seconds — and labels
+which one it read (``clock: sim|wall`` in JSON, "simulated seconds" /
+"wall seconds" in text).  ``diff`` refuses to compare traces from
+different domains; the deliberate cross-domain comparison is
+``calibrate``, which aligns a sim-clock *model* trace against a
+wall-clock *measured* trace of the same workload and reports per-phase
+model-vs-measured time ratios (the calibration data the performance
+model and the planned autotuner consume).
 """
 
 from __future__ import annotations
@@ -62,6 +73,7 @@ __all__ = [
     "load_spans",
     "communication_matrix_from_metrics",
     "diff_analyses",
+    "calibrate_traces",
     "aggregate_job_costs",
     "main",
 ]
@@ -82,6 +94,10 @@ _STALL_NAMES = {"stall"}
 _IDLE_NAMES = {"idle"}
 #: span names that are communication work
 _SEND_NAMES = {"send"}
+
+
+def _clock_label(clock: str) -> str:
+    return "wall seconds" if clock == "wall" else "simulated seconds"
 
 
 def _category(name: str) -> str:
@@ -339,6 +355,9 @@ class TraceAnalysis:
     critical_path: list[Span]
     comm: dict[tuple[int, int], list[float]]
     counters: dict[str, float] = field(default_factory=dict)
+    #: clock domain of the trace: "sim" (simulated seconds) or "wall"
+    #: (measured wall seconds from the threads backend)
+    clock: str = "sim"
 
     # -- derived -----------------------------------------------------------
 
@@ -371,6 +390,7 @@ class TraceAnalysis:
     def to_json(self) -> dict:
         """A machine-readable form of every computed diagnostic."""
         return {
+            "clock": self.clock,
             "makespan_seconds": self.makespan,
             "n_locales": self.n_locales,
             "n_spans": self.n_spans,
@@ -421,7 +441,7 @@ class TraceAnalysis:
         lines: list[str] = []
         lines.append(
             f"makespan {self.makespan:.6g} s | locales {self.n_locales} | "
-            f"spans {self.n_spans}"
+            f"spans {self.n_spans} | clock: {_clock_label(self.clock)}"
         )
         lines.append("")
         lines.append("per-locale accounting [s]:")
@@ -495,7 +515,9 @@ def analyze_trace(source, metrics=None) -> TraceAnalysis:
     counter families complement the span-harvested communication matrix
     (span args win where both exist — they need no heuristics).
     """
-    spans = load_spans(source)
+    chrome = _load_chrome(source)
+    clock = str(chrome.get("clock", "sim"))
+    spans = load_spans(chrome)
     locale_spans = [s for s in spans if s.locale is not None]
     locales = sorted({s.locale for s in locale_spans})
 
@@ -569,6 +591,7 @@ def analyze_trace(source, metrics=None) -> TraceAnalysis:
         critical_path=chain,
         comm=comm,
         counters=counters,
+        clock=clock,
     )
 
 
@@ -588,7 +611,20 @@ def _as_snapshot(metrics):
 
 
 def diff_analyses(a: TraceAnalysis, b: TraceAnalysis) -> list[dict[str, float]]:
-    """Rows comparing the headline scalars of two analyses (b vs a)."""
+    """Rows comparing the headline scalars of two analyses (b vs a).
+
+    Both analyses must come from the same clock domain: a simulated
+    makespan against a measured wall-clock one yields nonsense ratios,
+    so a mixed pair raises :class:`TraceFormatError` (exit 2 on the
+    CLI).  ``repro-inspect calibrate`` is the cross-domain comparison.
+    """
+    if a.clock != b.clock:
+        raise TraceFormatError(
+            f"cannot diff traces from different clock domains: a is "
+            f"{_clock_label(a.clock)}, b is {_clock_label(b.clock)} — use "
+            "'repro-inspect calibrate MODEL MEASURED' to compare a "
+            "simulated run against a wall-clock one"
+        )
     rows = []
     left, right = a.scalars(), b.scalars()
     for key in left:
@@ -663,6 +699,124 @@ def _diff_metrics(path_a: str, path_b: str) -> str:
     return "\n".join(lines)
 
 
+# -- model-vs-measured calibration -------------------------------------------
+
+
+def calibrate_traces(model_source, measured_source) -> dict:
+    """Align a simulated trace with a wall-clock trace of the same workload.
+
+    ``model_source`` must be a sim-clock trace (a SimExecutor run) and
+    ``measured_source`` a wall-clock one (the same workload on the
+    threads backend); anything else raises :class:`TraceFormatError`.
+    Returns the per-phase model-vs-measured ratios — grouped by span
+    name over the locale tracks — plus the headline scalars of both
+    analyses.  A ratio above 1 means that phase runs slower in real life
+    than the machine model predicts; this is the table the performance
+    model is tuned against and the future autotuner will consume.
+    """
+    model = analyze_trace(model_source)
+    measured = analyze_trace(measured_source)
+    if model.clock != "sim":
+        raise TraceFormatError(
+            "calibrate expects a sim-clock model trace first, but the "
+            f"model input is {_clock_label(model.clock)} — pass the "
+            "SimExecutor trace as MODEL and the threads trace as MEASURED"
+        )
+    if measured.clock != "wall":
+        raise TraceFormatError(
+            "calibrate expects a wall-clock measured trace second, but "
+            f"the measured input is {_clock_label(measured.clock)} — "
+            "record it with '--backend threads --trace'"
+        )
+
+    def phase_totals(source) -> dict[str, list]:
+        totals: dict[str, list] = {}
+        for span in load_spans(source):
+            if span.locale is None:
+                continue
+            entry = totals.setdefault(
+                span.name, [span.category, 0.0]
+            )
+            entry[1] += span.duration
+        return totals
+
+    model_phases = phase_totals(model_source)
+    measured_phases = phase_totals(measured_source)
+    phases = []
+    for name in sorted(
+        set(model_phases) | set(measured_phases),
+        key=lambda n: -(model_phases.get(n, (None, 0.0))[1]),
+    ):
+        category, model_s = model_phases.get(name, (None, 0.0))
+        meas_category, measured_s = measured_phases.get(name, (None, 0.0))
+        phases.append(
+            {
+                "phase": name,
+                "category": category or meas_category,
+                "model_seconds": model_s,
+                "measured_seconds": measured_s,
+                # None when the model predicts zero time for a phase the
+                # measurement observed (strict JSON has no Infinity)
+                "ratio": measured_s / model_s if model_s > 0.0 else None,
+            }
+        )
+    return {
+        "clock": {"model": "sim", "measured": "wall"},
+        "model": model.scalars(),
+        "measured": measured.scalars(),
+        "makespan_ratio": (
+            measured.makespan / model.makespan if model.makespan else None
+        ),
+        "n_locales": {
+            "model": model.n_locales,
+            "measured": measured.n_locales,
+        },
+        "phases": phases,
+    }
+
+
+def _render_calibrate(report: dict) -> str:
+    lines = [
+        "model (simulated seconds) vs measured (wall seconds)",
+        f"locales: model {report['n_locales']['model']}, "
+        f"measured {report['n_locales']['measured']}",
+    ]
+    ratio = report["makespan_ratio"]
+    lines.append(
+        f"makespan: model {report['model']['makespan_seconds']:.6g} s, "
+        f"measured {report['measured']['makespan_seconds']:.6g} s "
+        f"(ratio {'inf' if ratio is None else f'{ratio:.3f}'})"
+    )
+    lines.append("")
+    lines.append(
+        f"{'phase':<24} {'category':<9} {'model[s]':>12} "
+        f"{'measured[s]':>12} {'ratio':>8}"
+    )
+    for row in report["phases"]:
+        r = row["ratio"]
+        lines.append(
+            f"{row['phase']:<24} {row['category'] or '-':<9} "
+            f"{row['model_seconds']:>12.6g} "
+            f"{row['measured_seconds']:>12.6g} "
+            f"{'inf' if r is None else f'{r:.3f}':>8}"
+        )
+    if not report["phases"]:
+        lines.append("(no locale-track phases in either trace)")
+    lines.append("")
+    lines.append(
+        "headline scalars (model vs measured): "
+        + ", ".join(
+            f"{key} {report['model'][key]:.4g}/{report['measured'][key]:.4g}"
+            for key in (
+                "overlap_efficiency",
+                "stall_fraction",
+                "imbalance_index",
+            )
+        )
+    )
+    return "\n".join(lines)
+
+
 # -- job attribution ---------------------------------------------------------
 
 UNATTRIBUTED = "(unattributed)"
@@ -696,6 +850,7 @@ def aggregate_job_costs(source) -> dict[str, dict]:
     reads.
     """
     chrome = _load_chrome(source)
+    clock = str(chrome.get("clock", "sim"))
     spans = load_spans(chrome)
     meta = _job_metadata(chrome)
 
@@ -703,6 +858,7 @@ def aggregate_job_costs(source) -> dict[str, dict]:
         info = meta.get(job_id, {})
         return {
             "job": job_id,
+            "clock": clock,
             "tenant": info.get("tenant", ""),
             "workload": info.get("workload", ""),
             "spans": 0,
@@ -751,8 +907,15 @@ def aggregate_job_costs(source) -> dict[str, dict]:
     )
 
 
+def _row_clock(rows: dict[str, dict]) -> str:
+    for row in rows.values():
+        return row.get("clock", "sim")
+    return "sim"
+
+
 def _render_cost(rows: dict[str, dict]) -> str:
     lines = [
+        f"clock: {_clock_label(_row_clock(rows))}",
         f"{'job':<24} {'spans':>7} {'compute[s]':>12} {'send[s]':>10} "
         f"{'stall[s]':>10} {'busy[s]':>10} {'share':>7} "
         f"{'bytes':>12} {'msgs':>8}"
@@ -765,13 +928,14 @@ def _render_cost(rows: dict[str, dict]) -> str:
             f"{row['busy_share']:>7.1%} "
             f"{row['wire_bytes']:>12.6g} {row['messages']:>8.6g}"
         )
-    if len(lines) == 1:
+    if len(lines) == 2:
         lines.append("(no spans)")
     return "\n".join(lines)
 
 
 def _render_jobs(rows: dict[str, dict]) -> str:
     lines = [
+        f"clock: {_clock_label(_row_clock(rows))}",
         f"{'job':<24} {'tenant':<12} {'workload':<16} {'spans':>7} "
         f"{'first[s]':>10} {'last[s]':>10} {'busy[s]':>10}"
     ]
@@ -785,7 +949,7 @@ def _render_jobs(rows: dict[str, dict]) -> str:
             f"{last if last is not None else 0.0:>10.6g} "
             f"{row['busy_seconds']:>10.6g}"
         )
-    if len(lines) == 1:
+    if len(lines) == 2:
         lines.append("(no jobs recorded)")
     return "\n".join(lines)
 
@@ -851,6 +1015,41 @@ def _main(argv: list[str] | None = None) -> int:
                 if command == "cost"
                 else _render_jobs(rows)
             )
+        return 0
+    if argv and argv[0] == "calibrate":
+        parser = argparse.ArgumentParser(
+            prog="repro-inspect calibrate",
+            description=(
+                "Align a simulated (model) trace with a wall-clock "
+                "(measured) trace of the same workload and report "
+                "per-phase model-vs-measured time ratios"
+            ),
+        )
+        parser.add_argument(
+            "model", help="sim-clock trace JSON (SimExecutor run)"
+        )
+        parser.add_argument(
+            "measured",
+            help="wall-clock trace JSON (threads backend run)",
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            default=None,
+            help="also write the JSON report to PATH",
+        )
+        args = parser.parse_args(argv[1:])
+        report = calibrate_traces(args.model, args.measured)
+        if args.out is not None:
+            Path(args.out).write_text(json.dumps(report, indent=2))
+        print(
+            json.dumps(report, indent=2)
+            if args.json
+            else _render_calibrate(report)
+        )
         return 0
     if argv and argv[0] == "diff":
         parser = argparse.ArgumentParser(

@@ -21,6 +21,19 @@ complete a simulated phase advance the offset with :meth:`advance`.
 A :class:`NullTraceRecorder` (``enabled = False``) makes disabled tracing
 cost approximately nothing: instrumented code guards on ``enabled`` or
 calls the no-op methods directly.
+
+**Clock domains.**  A recorder starts in the simulated-seconds domain
+(``clock == "sim"``).  When the real-parallel ``threads`` backend merges
+its wall-clock spans, it calls :meth:`mark_wall` and the exported trace
+carries a top-level ``"clock": "wall"`` key (ignored by Perfetto, read by
+``repro-inspect`` so reports label their domain and ``diff`` refuses to
+compare across domains).
+
+**Thread safety.**  The recorder itself is single-writer; concurrent
+producers (the threads backend's workers) never touch it directly.  They
+append to bounded per-thread :class:`~repro.telemetry.profile.SpanBuffer`
+objects instead, which the executor merges here — in per-track monotone
+order — after the workers have joined.
 """
 
 from __future__ import annotations
@@ -47,6 +60,10 @@ class TraceRecorder:
         self.events: list[dict[str, Any]] = []
         #: seconds added to every recorded timestamp (global timeline)
         self.offset = 0.0
+        #: clock domain of the recorded timestamps: "sim" (simulated
+        #: seconds, the default) or "wall" (measured wall seconds — set by
+        #: the threads backend via :meth:`mark_wall`)
+        self.clock = "sim"
         self._pids: dict[str, int] = {}
         self._tids: dict[tuple[str, str], int] = {}
         self._open: dict[tuple[str, str], list[tuple[str, float, dict | None]]] = {}
@@ -84,6 +101,17 @@ class TraceRecorder:
                 "global timeline must be monotone"
             )
         self.offset += seconds
+
+    def mark_wall(self) -> None:
+        """Declare this trace's timestamps to be measured wall seconds.
+
+        Called by the ``threads`` backend when it merges wall-clock
+        spans.  Sticky: once any wall-clock phase lands in a trace, the
+        whole file is labelled ``wall`` (model-timed phases recorded
+        around it, e.g. basis enumeration, keep their spans but the
+        authoritative clock is the measured one).
+        """
+        self.clock = "wall"
 
     def complete(
         self,
@@ -239,6 +267,7 @@ class TraceRecorder:
             )
         return {
             "displayTimeUnit": "ms",
+            "clock": self.clock,
             "traceEvents": self._metadata_events() + self.events,
         }
 
@@ -258,6 +287,9 @@ class NullTraceRecorder(TraceRecorder):
     enabled = False
 
     def advance(self, seconds: float) -> None:
+        pass
+
+    def mark_wall(self) -> None:
         pass
 
     def complete(self, track, name, start, duration, args=None) -> None:

@@ -307,3 +307,214 @@ class TestBackendSelection:
         assert BACKENDS == ("sim", "threads")
         assert SimExecutor.name == "sim" and not SimExecutor.wall_clock
         assert ThreadExecutor.name == "threads" and ThreadExecutor.wall_clock
+
+
+class TestProfilingConformance:
+    """Both backends emit the same span and metric *names* per primitive.
+
+    The simulator observes modelled durations, the threads backend
+    measured ones; what must match is the vocabulary — span names on the
+    locale tracks and ``executor.*`` metric families — so the analysis
+    layer and ``repro-inspect calibrate`` can align the two.  The real
+    sleeps below only matter on the threads backend (they force the
+    waiter to genuinely block); on the simulator the same blocking comes
+    from the modelled ``Timeout`` delays.
+    """
+
+    #: metric families both backends must produce for this protocol
+    COMMON_FAMILIES = {
+        "executor.flag_wait_seconds",
+        "executor.queue_wait_seconds",
+        "executor.resource_wait_seconds",
+        "executor.resource_hold_seconds",
+        "executor.queue_depth",
+        "executor.queue_depth_max",
+        "executor.worker_busy_seconds",
+        "executor.worker_blocked_seconds",
+        "executor.counter_adds",
+    }
+    #: span names both backends must stamp on the locale tracks
+    SPAN_NAMES = {
+        "produce", "arm", "hold", "consume", "stall", "idle", "wait:port",
+    }
+
+    @staticmethod
+    def _drive(ex):
+        queue = ex.queue(name="work")
+        flag = ex.flag(False, name="go")
+        port = ex.resource(1, name="port")
+        count = ex.counter(0)
+
+        def holder():
+            yield Acquire(port)
+            time.sleep(0.03)
+            yield Timeout(5e-3, label="hold")
+            port.release()
+
+        def producer():
+            time.sleep(0.01)
+            yield Timeout(2e-3, label="produce")
+            queue.push(7)
+            queue.push(8)  # lands in the deque: samples queue depth
+
+        def setter():
+            time.sleep(0.02)
+            yield Timeout(3e-3, label="arm")
+            flag.set(True)
+
+        def waiter():
+            item = yield Pop(queue)
+            ok = yield WaitFlag(flag, True)
+            assert ok is True
+            yield Acquire(port)
+            yield Timeout(1e-3, label="consume")
+            port.release()
+            count.add(item)
+
+        ex.spawn(holder(), name="holder", track=("locale0", "holder"), locale=0)
+        ex.spawn(waiter(), name="waiter", track=("locale0", "waiter"), locale=0)
+        ex.spawn(setter(), name="setter", track=("locale0", "setter"), locale=0)
+        ex.spawn(
+            producer(), name="producer", track=("locale0", "producer"),
+            locale=0,
+        )
+        ex.run()
+        assert count.get() == 7
+
+    def _run(self, backend):
+        from repro.telemetry import MetricsRegistry, TraceRecorder
+        from repro.telemetry.profile import ExecutorProfiler
+
+        trace = TraceRecorder()
+        metrics = MetricsRegistry()
+        if backend == "sim":
+            profile = ExecutorProfiler(trace=None, metrics=metrics)
+            ex = SimExecutor(trace=trace, profile=profile)
+        else:
+            profile = ExecutorProfiler(trace=trace, metrics=metrics, wall=True)
+            ex = ThreadExecutor(profile=profile)
+        self._drive(ex)
+        return trace, metrics
+
+    def test_same_metric_families_on_both_backends(self):
+        results = {b: self._run(b) for b in ("sim", "threads")}
+        families = {}
+        for backend, (_, metrics) in results.items():
+            snap = metrics.snapshot()
+            families[backend] = {
+                name
+                for source in (snap.counters, snap.gauges, snap.histograms)
+                for (name, _) in source
+                if name.startswith("executor.")
+            }
+        for backend in ("sim", "threads"):
+            missing = self.COMMON_FAMILIES - families[backend]
+            assert not missing, f"{backend} backend missing {missing}"
+        # Lock families are threads-only by construction: the simulator's
+        # single-threaded lock() is a no-op context that cannot contend.
+        assert "executor.lock_wait_seconds" not in families["sim"]
+
+    def test_same_span_names_on_both_backends(self):
+        for backend in ("sim", "threads"):
+            trace, _ = self._run(backend)
+            names = {
+                event["name"]
+                for event in trace.to_chrome()["traceEvents"]
+                if event.get("ph") == "X"
+            }
+            missing = self.SPAN_NAMES - names
+            assert not missing, f"{backend} backend missing spans {missing}"
+
+    def test_clock_domain_marks_the_backend(self):
+        sim_trace, _ = self._run("sim")
+        wall_trace, _ = self._run("threads")
+        assert sim_trace.to_chrome()["clock"] == "sim"
+        assert wall_trace.to_chrome()["clock"] == "wall"
+
+    def test_lock_contention_measured_on_threads(self):
+        from repro.telemetry import MetricsRegistry
+        from repro.telemetry.profile import ExecutorProfiler
+
+        metrics = MetricsRegistry()
+        ex = ThreadExecutor(
+            profile=ExecutorProfiler(metrics=metrics, wall=True)
+        )
+        lock = ex.lock("accum")
+
+        def bumper():
+            with lock:
+                time.sleep(0.005)
+            yield Timeout(1e-6)
+
+        for i in range(3):
+            ex.spawn(bumper(), name=f"bump{i}")
+        ex.run()
+        snap = ex.profile.metrics.snapshot()
+        waits = {
+            labels: stats
+            for (name, labels), stats in snap.histograms.items()
+            if name == "executor.lock_wait_seconds"
+        }
+        holds = {
+            labels: stats
+            for (name, labels), stats in snap.histograms.items()
+            if name == "executor.lock_hold_seconds"
+        }
+        assert (("lock", "accum"),) in waits
+        assert (("lock", "accum"),) in holds
+        hold = holds[(("lock", "accum"),)]
+        assert hold["count"] == 3
+        assert hold["sum"] >= 3 * 0.004
+
+    def test_partial_trace_flushed_on_worker_failure(self):
+        from repro.telemetry import MetricsRegistry, TraceRecorder
+        from repro.telemetry.profile import ExecutorProfiler
+
+        trace = TraceRecorder()
+        ex = ThreadExecutor(
+            profile=ExecutorProfiler(
+                trace=trace, metrics=MetricsRegistry(), wall=True
+            )
+        )
+
+        def worker():
+            yield Timeout(1e-3, label="before-crash")
+            raise RuntimeError("boom")
+
+        ex.spawn(worker(), name="worker", track=("locale0", "w0"), locale=0)
+        with pytest.raises(BackendError, match="boom"):
+            ex.run()
+        names = [
+            event["name"]
+            for event in trace.to_chrome()["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        assert "before-crash" in names
+        assert trace.to_chrome()["clock"] == "wall"
+
+    def test_partial_trace_flushed_on_watchdog_deadlock(self):
+        from repro.telemetry import MetricsRegistry, TraceRecorder
+        from repro.telemetry.profile import ExecutorProfiler
+
+        trace = TraceRecorder()
+        ex = ThreadExecutor(
+            profile=ExecutorProfiler(
+                trace=trace, metrics=MetricsRegistry(), wall=True
+            )
+        )
+        ex.watchdog_seconds = 0.3
+        flag = ex.flag(False, name="never")
+
+        def stuck():
+            yield Timeout(1e-3, label="pre-deadlock")
+            yield WaitFlag(flag, True)
+
+        ex.spawn(stuck(), name="stuck", track=("locale0", "w0"), locale=0)
+        with pytest.raises(BackendError, match="deadlock"):
+            ex.run()
+        names = [
+            event["name"]
+            for event in trace.to_chrome()["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        assert "pre-deadlock" in names

@@ -355,14 +355,16 @@ class TestGracefulFailures:
         assert err.startswith("repro-inspect: error:")
         assert str(path) in err
 
-    @pytest.mark.parametrize("command", [[], ["cost"], ["jobs"], None])
+    @pytest.mark.parametrize(
+        "command", [[], ["cost"], ["jobs"], "diff", "calibrate"]
+    )
     def test_all_commands_fail_cleanly(self, command, tmp_path, capsys):
         path = tmp_path / "trunc.json"
         path.write_text('{"traceEvents": [')
-        diff = command is None
-        argv = (
-            ["diff", str(path), str(path)] if diff else command + [str(path)]
-        )
+        if command in ("diff", "calibrate"):
+            argv = [command, str(path), str(path)]
+        else:
+            argv = command + [str(path)]
         assert inspect_main(argv) == 2
         assert "repro-inspect: error:" in capsys.readouterr().err
 
@@ -443,3 +445,70 @@ class TestJobCostCommands:
         out = capsys.readouterr().out
         assert "tagged" in out
         assert "(unattributed)" in out
+
+
+class TestClockDomains:
+    """Every report names its clock; diff refuses to mix clocks."""
+
+    def _save(self, tmp_path, name, wall):
+        trace = TraceRecorder()
+        if wall:
+            trace.mark_wall()
+        _span(trace, 0, "worker0", "generate", 0.0, 2.0)
+        _span(trace, 0, "net", "send", 1.0, 1.0)
+        path = tmp_path / name
+        trace.save(path)
+        return str(path)
+
+    def test_analysis_defaults_to_sim_clock(self, tmp_path):
+        path = self._save(tmp_path, "sim.json", wall=False)
+        analysis = analyze_trace(path)
+        assert analysis.clock == "sim"
+        assert analysis.to_json()["clock"] == "sim"
+        assert "clock: simulated seconds" in analysis.render()
+
+    def test_wall_clock_propagates_to_reports(self, tmp_path):
+        path = self._save(tmp_path, "wall.json", wall=True)
+        analysis = analyze_trace(path)
+        assert analysis.clock == "wall"
+        assert "clock: wall seconds" in analysis.render()
+
+    def test_traces_without_clock_key_read_as_sim(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {
+                            "ph": "X",
+                            "pid": "locale0",
+                            "tid": "worker0",
+                            "name": "generate",
+                            "ts": 0.0,
+                            "dur": 1e6,
+                        }
+                    ]
+                }
+            )
+        )
+        assert analyze_trace(str(path)).clock == "sim"
+
+    def test_diff_same_clock_is_allowed(self, tmp_path, capsys):
+        a = self._save(tmp_path, "a.json", wall=True)
+        b = self._save(tmp_path, "b.json", wall=True)
+        assert inspect_main(["diff", a, b]) == 0
+
+    def test_diff_cross_clock_refused_with_exit_2(self, tmp_path, capsys):
+        sim = self._save(tmp_path, "sim.json", wall=False)
+        wall = self._save(tmp_path, "wall.json", wall=True)
+        assert inspect_main(["diff", sim, wall]) == 2
+        err = capsys.readouterr().err
+        assert "repro-inspect: error:" in err
+        assert "clock domain" in err
+        assert "calibrate" in err
+
+    def test_cost_rows_carry_clock(self, tmp_path, capsys):
+        path = self._save(tmp_path, "wall.json", wall=True)
+        assert inspect_main(["cost", path, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(r["clock"] == "wall" for r in rows)
