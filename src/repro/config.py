@@ -41,8 +41,12 @@ Command-line flags:
     Inject a seeded fault plan (JSON with ``seed``, ``drop``,
     ``duplicate``, ``corrupt``, ``delay``/``max_delay``, ``stragglers``,
     ``crashes`` keys — see :class:`repro.resilience.FaultPlan`) into the
-    simulated cluster; the matvec recovery protocol and its
+    cluster (either backend); the matvec recovery protocol and its
     ``fault.*``/``recovery.*`` metrics activate automatically.
+``--watchdog-timeout SECONDS`` / ``--max-worker-restarts N``
+    Threads-backend supervision knobs: the stall watchdog window and the
+    per-worker restart budget (merged into the cluster ``resilience``
+    section; see ``docs/RESILIENCE.md``).
 ``--checkpoint DIR`` / ``--resume``
     Periodically snapshot the Krylov solver state under ``DIR`` and
     restart from the newest checkpoint (``docs/RESILIENCE.md``).
@@ -417,6 +421,24 @@ def main(argv: list[str] | None = None) -> None:
         "docs/BACKENDS.md); requires a 'cluster' section in the input",
     )
     parser.add_argument(
+        "--watchdog-timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="threads-backend stall watchdog: escalate a typed error when "
+        "every live worker has been blocked this long (overrides the "
+        "cluster 'resilience' section's watchdog_timeout)",
+    )
+    parser.add_argument(
+        "--max-worker-restarts",
+        metavar="N",
+        type=int,
+        default=None,
+        help="restart budget per supervised worker on the threads backend "
+        "before the crash escalates as a FaultError (overrides the "
+        "cluster 'resilience' section's max_worker_restarts)",
+    )
+    parser.add_argument(
         "--checkpoint",
         metavar="DIR",
         default=None,
@@ -484,6 +506,23 @@ def main(argv: list[str] | None = None) -> None:
                 "--backend requires a 'cluster' section in the input file"
             )
         spec.cluster_options["backend"] = args.backend
+    for flag, key, value in (
+        ("--watchdog-timeout", "watchdog_timeout", args.watchdog_timeout),
+        (
+            "--max-worker-restarts",
+            "max_worker_restarts",
+            args.max_worker_restarts,
+        ),
+    ):
+        if value is None:
+            continue
+        if not spec.distributed:
+            raise ReproError(
+                f"{flag} requires a 'cluster' section in the input file"
+            )
+        section = dict(spec.cluster_options.get("resilience") or {})
+        section[key] = value
+        spec.cluster_options["resilience"] = section
     if args.resume and args.checkpoint is None and not (
         spec.solver_options.get("checkpoint") or {}
     ).get("dir"):

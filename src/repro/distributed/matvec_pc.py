@@ -51,10 +51,18 @@ latter).  An exhausted retry budget raises a typed
 :class:`~repro.errors.DeadlockError` (also a ``FaultError``) from the
 simulator watchdog — the run never hangs and never returns silently wrong
 amplitudes.  The default (no faults, no resilience) path is byte-for-byte
-the original protocol with identical simulated timings.  Faults are
-defined in simulated time, so the self-healing pipeline is sim-only: on
-``backend="threads"`` a faults/resilience request raises a typed
-:class:`~repro.errors.BackendError`.
+the original protocol with identical simulated timings.
+
+The self-healing pipeline runs on *both* backends.  On ``sim`` fates are
+drawn per delivery from the plan's sequential RNG stream and timers are
+simulated — bit-identical replays.  On ``threads`` the same seeded plan
+derives each message's fate from its identity (edge, buffer, attempt) so
+fate assignment is deterministic even though timing is wall-clock;
+injected delays really postpone deliveries, crashes really kill worker
+threads (supervised consumers restart with bounded backoff, an
+unrecovered crash escalates as a typed ``FaultError``), and ack timeouts
+are wall-clock.  See ``docs/RESILIENCE.md``, "Chaos on the threads
+backend".
 """
 
 from __future__ import annotations
@@ -74,12 +82,12 @@ from repro.distributed.matvec_common import (
     wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
-from repro.errors import BackendError, FaultError
+from repro.errors import FaultError
 from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
 from repro.runtime.events import Acquire, Pop, Timeout, WaitFlag
-from repro.runtime.executor import Executor, SimExecutor, get_executor
+from repro.runtime.executor import Executor, get_executor
 from repro.telemetry.context import current as current_telemetry
 from repro.telemetry.jobs import attribute_report
 
@@ -146,7 +154,7 @@ def matvec_producer_consumer(
     ``faults`` / ``resilience`` activate the self-healing protocol (see
     the module docstring); either one alone suffices (a bare
     ``resilience=ResilienceConfig()`` measures the fault-free overhead of
-    sequence numbers + checksums).  Sim-only.
+    sequence numbers + checksums).  Both backends are supported.
     """
     y = check_vectors(basis, x, y)
     machine = basis.cluster.machine
@@ -162,12 +170,6 @@ def matvec_producer_consumer(
     wall_clock = backend == "threads"
 
     resilient = faults is not None or resilience is not None
-    if resilient and backend != "sim":
-        raise BackendError(
-            "faults/resilience are sim-only for now: the self-healing "
-            "pipeline is defined in simulated time; run it on a "
-            "backend='sim' cluster (see docs/BACKENDS.md)"
-        )
     if resilient and resilience is None:
         resilience = ResilienceConfig()
     if (
@@ -490,6 +492,7 @@ class ResilientBuffer:
     __slots__ = (
         "src", "dest", "seq", "acked_seq", "consumed_seq", "ack_flag",
         "betas", "values", "rows", "checksum", "payload",
+        "uid", "xmit_fates", "ack_fates", "lock",
     )
 
     def __init__(self, ex: Executor, src: int, dest: int) -> None:
@@ -506,6 +509,17 @@ class ResilientBuffer:
         self.checksum = 0
         #: clean (betas, values, rows) kept for retransmits
         self.payload: tuple | None = None
+        #: deterministic buffer id — the salt of the keyed fate draws on
+        #: the threads backend (set by the owning producer)
+        self.uid = 0
+        #: per-direction fate-draw counters (threads backend: every
+        #: transmit attempt / ack gets its own keyed fate)
+        self.xmit_fates = 0
+        self.ack_fates = 0
+        #: guards wire-field snapshots, consumed_seq check-and-claim and
+        #: acked_seq merges on threads (a no-op context on the simulator,
+        #: where atomicity between yields is free)
+        self.lock = ex.lock()
 
 
 def _resilient_pipeline(
@@ -530,24 +544,41 @@ def _resilient_pipeline(
 ) -> tuple[DistributedVector, SimReport]:
     """The self-healing producer-consumer pipeline (see module docstring).
 
-    Sim-only: injected faults (and the ARQ timers that heal them) are
-    defined in simulated time, so this always runs on a
-    :class:`~repro.runtime.executor.SimExecutor` regardless of the
-    cluster's configured backend (the caller rejects non-sim backends
-    with a :class:`~repro.errors.BackendError` before reaching here).
+    Backend-generic: on ``sim`` the injected fates come from the plan's
+    sequential RNG stream and timers are simulated (bit-identical
+    replays, hard-gated by the chaos baselines); on ``threads`` fates
+    are derived per message identity
+    (:meth:`~repro.resilience.faults.FaultPlan.message_fate_keyed`), ack
+    timeouts and injected delays are wall-clock, and the executor itself
+    injects crashes/stragglers and supervises worker restarts.
     """
     machine = basis.cluster.machine
     n = basis.n_locales
     k = x.n_columns
     metrics.gauge("matvec.block_width").set(float(k))
+    ex = get_executor(
+        basis.cluster, trace=trace, faults=faults, resilience=resilience
+    )
     cores = machine.cores_per_locale
     if producers_per_locale is None or consumers_per_locale is None:
         n_prod, n_cons = split_cores(cores, consumer_fraction)
     else:
         n_prod, n_cons = producers_per_locale, consumers_per_locale
-    max_workers = 8
-    sim_prod = min(n_prod, max_workers)
-    sim_cons = min(n_cons, max_workers)
+    if ex.wall_clock:
+        # Real workers: one producer and one consumer thread per locale
+        # unless explicitly overridden (same policy as the plain
+        # pipeline) — no representative-worker rate scaling.
+        sim_prod = (
+            producers_per_locale if producers_per_locale is not None else 1
+        )
+        sim_cons = (
+            consumers_per_locale if consumers_per_locale is not None else 1
+        )
+        n_prod, n_cons = sim_prod, sim_cons
+    else:
+        max_workers = 8
+        sim_prod = min(n_prod, max_workers)
+        sim_cons = min(n_cons, max_workers)
     t_generate = machine.t_generate * sim_prod / n_prod
     t_partition = (machine.t_partition + machine.t_hash) * sim_prod / n_prod
     t_search = machine.t_search_accum * sim_cons / n_cons
@@ -557,15 +588,71 @@ def _resilient_pipeline(
     crc_prod_scale = sim_prod / n_prod
     crc_cons_scale = sim_cons / n_cons
     use_checksums = resilience.checksums
+    # On the real backend a fault-free payload moves through coherent
+    # shared memory — there is no wire for bits to flip on, corruption
+    # only ever enters through the fault layer — so the CRC pass is pure
+    # overhead and is elided (the shared-memory-transport analogue of
+    # checksum offload).  The simulator always charges the modelled
+    # checksum time: its timings are baseline-gated bit-identical.
+    wire_checksums = use_checksums and (
+        not ex.wall_clock or faults is not None
+    )
+    # Fault-free on the real backend, the ARQ machinery is semantically
+    # inert: nothing drops (no retransmits), nothing duplicates (no
+    # idempotence guard), nothing crashes (no restart races on the
+    # buffer fields).  The `lean` branches below degenerate it to the
+    # plain pipeline's flag handshake — same yields, no per-handoff
+    # generator delegation, locking, or timeout bookkeeping — which is
+    # what keeps the fault-free wall overhead inside the chaos bench's
+    # 5% budget.  Armed plans (and always the simulator) take the full
+    # protocol.
+    lean = ex.wall_clock and faults is None
+    #: threads: fates are a pure function of message identity, so any
+    #: interleaving of real workers sees the same fault assignment
+    keyed_fates = ex.wall_clock
 
     net = machine.network
-    ex = SimExecutor(trace=trace, faults=faults)
     nic = [ex.resource(1, name=f"nic{locale}") for locale in range(n)]
     ready: list = [ex.queue(name=f"ready{locale}") for locale in range(n)]
     producers_remaining = ex.counter(n * sim_prod)
     stall_total = ex.counter(0.0)
     producers_done_flag = ex.flag(False, name="producers_done")
     consumer_counts = {locale: ex.counter(sim_cons) for locale in range(n)}
+    # One lock per destination locale guards the shared scatter-add into
+    # y.parts[dest] on the threads backend (no-op contexts on sim).
+    consume_locks = [ex.lock(f"consume{locale}") for locale in range(n)]
+
+    def deliver(extra: float, fn) -> None:
+        # The base remote-atomic latency is modelled (zero wall-clock on
+        # threads), but an *injected* delay fate must genuinely postpone
+        # the delivery on every backend.
+        if ex.wall_clock and extra > 0.0:
+            ex.call_after(extra, fn)
+        else:
+            ex.call_later(net.remote_atomic_latency + extra, fn)
+
+    def ack_fate(rb: ResilientBuffer, locale: int):
+        if faults is None:
+            return None
+        if keyed_fates:
+            with rb.lock:
+                attempt = rb.ack_fates
+                rb.ack_fates += 1
+            return faults.message_fate_keyed(
+                locale, rb.src, attempt, salt=rb.uid
+            )
+        return faults.message_fate(locale, rb.src)
+
+    def data_fate(rb: ResilientBuffer):
+        # Producer-side; the owning producer is the only writer of
+        # xmit_fates, so no lock is needed.
+        if keyed_fates:
+            attempt = rb.xmit_fates
+            rb.xmit_fates += 1
+            return faults.message_fate_keyed(
+                rb.src, rb.dest, attempt, salt=rb.uid
+            )
+        return faults.message_fate(rb.src, rb.dest)
 
     chunk_lists: dict[int, list[tuple[int, int]]] = {}
     chunk_cursor: dict[int, object] = {}
@@ -586,23 +673,76 @@ def _resilient_pipeline(
             rb = yield Pop(ready[locale])
             if rb is _SENTINEL:
                 break
+            if lean:
+                # No retransmits, duplicates, or crashes possible: the
+                # ack handshake alone orders producer writes against
+                # this read, exactly as in the plain pipeline.
+                betas, values, rows = rb.betas, rb.values, rb.rows
+                seq = rb.seq
+                before = ex.now
+                with consume_locks[locale]:
+                    consume(
+                        basis, locale, y.parts[locale], betas, values, rows
+                    )
+                busy += ex.now - before
+                yield Timeout(
+                    (t_search + t_cols_cons) * betas.size, "search+accum"
+                )
+                rb.consumed_seq = seq
+                rb.acked_seq = seq
+                rb.ack_flag.set(True)
+                continue
             # Snapshot the wire fields up front: a retransmit may
-            # overwrite them while this consumer is inside a Timeout.
-            betas, values, rows = rb.betas, rb.values, rb.rows
-            seq, expected_crc = rb.seq, rb.checksum
+            # overwrite them while this consumer is inside a Timeout
+            # (on threads, while it runs at all — hence the lock).
+            with rb.lock:
+                betas, values, rows = rb.betas, rb.values, rb.rows
+                seq, expected_crc = rb.seq, rb.checksum
             nbytes = wire_bytes(betas.size, k)
-            if use_checksums:
+            if wire_checksums:
                 dt = machine.checksum_time(nbytes) * crc_cons_scale
-                busy += dt * slow
-                yield Timeout(dt, "verify")
-                if payload_checksum(betas, values) != expected_crc:
+                if ex.wall_clock:
+                    before = ex.now
+                    crc_ok = payload_checksum(betas, values) == expected_crc
+                    busy += ex.now - before
+                    yield Timeout(dt, "verify")
+                else:
+                    busy += dt * slow
+                    yield Timeout(dt, "verify")
+                    crc_ok = payload_checksum(betas, values) == expected_crc
+                if not crc_ok:
                     # Corrupt on the wire: drop without acknowledging;
                     # the producer's timeout will retransmit.
-                    metrics.counter(
-                        "recovery.checksum_rejects", src=rb.src, dst=locale
-                    ).inc()
+                    with ex.mutex:
+                        metrics.counter(
+                            "recovery.checksum_rejects", src=rb.src, dst=locale
+                        ).inc()
                     continue
-            if seq <= rb.consumed_seq:
+            if ex.wall_clock:
+                # Threads: consume and claim atomically under the buffer
+                # lock, so an injected crash (which can only land on a
+                # yield) never separates them — a killed-and-restarted
+                # consumer either never claimed the payload (retransmit
+                # delivers it again) or fully consumed it (the duplicate
+                # is discarded and re-acknowledged).
+                before = ex.now
+                with rb.lock:
+                    duplicate = seq <= rb.consumed_seq
+                    if not duplicate:
+                        with consume_locks[locale]:
+                            consume(
+                                basis, locale, y.parts[locale],
+                                betas, values, rows,
+                            )
+                        rb.consumed_seq = seq
+                busy += ex.now - before
+                if duplicate:
+                    with ex.mutex:
+                        metrics.counter("recovery.duplicates_discarded").inc()
+                else:
+                    dt = (t_search + t_cols_cons) * betas.size
+                    yield Timeout(dt, "search+accum")
+            elif seq <= rb.consumed_seq:
                 metrics.counter("recovery.duplicates_discarded").inc()
             else:
                 # Claim the seq BEFORE yielding: a second consumer popping
@@ -617,31 +757,33 @@ def _resilient_pipeline(
             # Acknowledge (re-acknowledge duplicates: the original ack may
             # have been the dropped message).
             if rb.src == locale:
-                rb.acked_seq = max(rb.acked_seq, seq)
+                with rb.lock:
+                    rb.acked_seq = max(rb.acked_seq, seq)
                 rb.ack_flag.set(True)
             else:
-                fate = (
-                    faults.message_fate(locale, rb.src)
-                    if faults is not None
-                    else None
-                )
+                fate = ack_fate(rb, locale)
                 if fate is None or not fate.drop:
-                    delay = net.remote_atomic_latency + (
-                        fate.extra_delay if fate is not None else 0.0
-                    )
+                    extra = fate.extra_delay if fate is not None else 0.0
 
                     def ack(b=rb, s=seq):
-                        b.acked_seq = max(b.acked_seq, s)
+                        with b.lock:
+                            b.acked_seq = max(b.acked_seq, s)
                         b.ack_flag.set(True)
 
-                    ex.call_later(delay, ack)
+                    deliver(extra, ack)
                     if fate is not None and fate.duplicate:
-                        ex.call_later(delay, ack)
-        ledger.add("search+accum", locale, busy)
+                        deliver(extra, ack)
+        with ex.mutex:
+            ledger.add("search+accum", locale, busy)
 
     def producer_body(locale: int, producer_id: int):
         slow = slowdown(locale)
         buffers = [ResilientBuffer(ex, locale, d) for d in range(n)]
+        for d, rb in enumerate(buffers):
+            # Deterministic per-buffer id: the salt of the keyed fate
+            # draws on threads (two producers on one locale must not
+            # share a fate stream).
+            rb.uid = (locale * sim_prod + producer_id) * n + d
         acct = {"generate": 0.0, "stall": 0.0}
 
         def transmit(rb: ResilientBuffer, retransmit: bool = False):
@@ -650,33 +792,44 @@ def _resilient_pipeline(
             wire_values = values
             fate = None
             if faults is not None and rb.dest != locale:
-                fate = faults.message_fate(locale, rb.dest)
+                fate = data_fate(rb)
                 if fate.corrupt:
                     wire_values = corrupted_copy(values)
-            if use_checksums:
-                rb.checksum = payload_checksum(betas, values)
+            crc = 0
+            if wire_checksums:
                 dt = machine.checksum_time(nbytes) * crc_prod_scale
-                acct["generate"] += dt * slow
+                if ex.wall_clock:
+                    crc_start = ex.now
+                    crc = payload_checksum(betas, values)
+                    acct["generate"] += ex.now - crc_start
+                else:
+                    crc = payload_checksum(betas, values)
+                    rb.checksum = crc
+                    acct["generate"] += dt * slow
                 yield Timeout(dt, "checksum")
-            rb.betas = betas
-            rb.values = wire_values
-            rb.rows = rows
-            report.messages += 1
-            report.bytes_sent += nbytes
-            if retransmit:
-                metrics.counter(
-                    "recovery.retransmits", src=locale, dst=rb.dest
-                ).inc()
-            else:
-                metrics.counter(
-                    "matvec.messages", src=locale, dst=rb.dest
-                ).inc()
-                metrics.counter(
-                    "matvec.bytes", src=locale, dst=rb.dest
-                ).inc(nbytes)
-                metrics.histogram("matvec.buffer_elements").observe(
-                    betas.size
-                )
+            with rb.lock:
+                if wire_checksums and ex.wall_clock:
+                    rb.checksum = crc
+                rb.betas = betas
+                rb.values = wire_values
+                rb.rows = rows
+            with ex.mutex:
+                report.messages += 1
+                report.bytes_sent += nbytes
+                if retransmit:
+                    metrics.counter(
+                        "recovery.retransmits", src=locale, dst=rb.dest
+                    ).inc()
+                else:
+                    metrics.counter(
+                        "matvec.messages", src=locale, dst=rb.dest
+                    ).inc()
+                    metrics.counter(
+                        "matvec.bytes", src=locale, dst=rb.dest
+                    ).inc(nbytes)
+                    metrics.histogram("matvec.buffer_elements").observe(
+                        betas.size
+                    )
             comm_args = (
                 {"src": locale, "dst": rb.dest, "bytes": nbytes, "msgs": 1}
                 if trace is not None
@@ -692,15 +845,11 @@ def _resilient_pipeline(
                 yield Timeout(net.transfer_time(nbytes), "send", comm_args)
                 nic[locale].release()
                 if fate is None or not fate.drop:
-                    delay = net.remote_atomic_latency + (
-                        fate.extra_delay if fate is not None else 0.0
-                    )
-                    ex.call_later(
-                        delay, lambda q=ready[rb.dest], b=rb: q.push(b)
-                    )
+                    extra = fate.extra_delay if fate is not None else 0.0
+                    deliver(extra, lambda q=ready[rb.dest], b=rb: q.push(b))
                     if fate is not None and fate.duplicate:
-                        ex.call_later(
-                            delay, lambda q=ready[rb.dest], b=rb: q.push(b)
+                        deliver(
+                            extra, lambda q=ready[rb.dest], b=rb: q.push(b)
                         )
 
         def wait_acked(rb: ResilientBuffer):
@@ -717,9 +866,10 @@ def _resilient_pipeline(
                     # duplicate ack for an older seq (loop waits again).
                     continue
                 retries += 1
-                metrics.counter(
-                    "fault.timeouts", src=locale, dst=rb.dest
-                ).inc()
+                with ex.mutex:
+                    metrics.counter(
+                        "fault.timeouts", src=locale, dst=rb.dest
+                    ).inc()
                 if retries > resilience.max_retries:
                     raise FaultError(
                         f"RemoteBuffer handoff {locale}->{rb.dest} seq "
@@ -732,13 +882,15 @@ def _resilient_pipeline(
             if ex.now > before:
                 stalled = ex.now - before
                 acct["stall"] += stalled
-                metrics.histogram("matvec.stall_seconds").observe(stalled)
+                with ex.mutex:
+                    metrics.histogram("matvec.stall_seconds").observe(stalled)
 
         while True:
             c = chunk_cursor[locale].add(1) - 1
             if c >= len(chunk_lists[locale]):
                 break
             start, stop = chunk_lists[locale][c]
+            gen_start = ex.now
             chunk = produce_chunk(
                 op, basis, locale, start, stop, x.parts[locale], plan
             )
@@ -746,8 +898,13 @@ def _resilient_pipeline(
                 t_generate * chunk.n_emitted
                 + (t_partition + t_cols_prod) * chunk.betas.size
             )
-            acct["generate"] += dt * slow
-            metrics.histogram("matvec.chunk_elements").observe(chunk.betas.size)
+            acct["generate"] += (
+                (ex.now - gen_start) if ex.wall_clock else dt * slow
+            )
+            with ex.mutex:
+                metrics.histogram("matvec.chunk_elements").observe(
+                    chunk.betas.size
+                )
             yield Timeout(dt, "generate")
             for shift in range(n):
                 dest = (locale + 1 + shift) % n
@@ -762,17 +919,79 @@ def _resilient_pipeline(
                         else rows_all[lo : lo + buffer_capacity]
                     )
                     rb = buffers[dest]
+                    if lean:
+                        # Degenerate stop-and-wait: the ack flag is the
+                        # plain pipeline's is_full handshake, delivery
+                        # is a direct push (remote-atomic latency is
+                        # zero in shared memory), and no payload copy
+                        # is kept (nothing can ask for a retransmit).
+                        if rb.seq:
+                            before = ex.now
+                            yield WaitFlag(rb.ack_flag, True)
+                            rb.ack_flag.set(False)
+                            now = ex.now
+                            if now > before:
+                                acct["stall"] += now - before
+                                with ex.mutex:
+                                    metrics.histogram(
+                                        "matvec.stall_seconds"
+                                    ).observe(now - before)
+                        rb.seq += 1
+                        rb.betas, rb.values, rb.rows = betas, values, rows
+                        nbytes = wire_bytes(betas.size, k)
+                        with ex.mutex:
+                            report.messages += 1
+                            report.bytes_sent += nbytes
+                            metrics.counter(
+                                "matvec.messages", src=locale, dst=dest
+                            ).inc()
+                            metrics.counter(
+                                "matvec.bytes", src=locale, dst=dest
+                            ).inc(nbytes)
+                            metrics.histogram(
+                                "matvec.buffer_elements"
+                            ).observe(betas.size)
+                        comm_args = (
+                            {
+                                "src": locale,
+                                "dst": dest,
+                                "bytes": nbytes,
+                                "msgs": 1,
+                            }
+                            if trace is not None
+                            else None
+                        )
+                        if dest == locale:
+                            yield Timeout(
+                                machine.memcpy_time(nbytes, 1),
+                                "memcpy",
+                                comm_args,
+                            )
+                        else:
+                            yield Acquire(nic[locale])
+                            yield Timeout(
+                                net.transfer_time(nbytes), "send", comm_args
+                            )
+                            nic[locale].release()
+                        ready[dest].push(rb)
+                        continue
                     yield from wait_acked(rb)
-                    rb.seq += 1
+                    with rb.lock:
+                        rb.seq += 1
                     rb.payload = (betas, values, rows)
                     yield from transmit(rb)
         # Drain: every outstanding payload must be acknowledged before
         # this producer retires (so "all producers done" implies "all
         # payloads consumed" and the closer can release the consumers).
         for rb in buffers:
-            yield from wait_acked(rb)
-        ledger.add("generate", locale, acct["generate"])
-        ledger.add("stall", locale, acct["stall"])
+            if lean:
+                if rb.seq and rb.acked_seq < rb.seq:
+                    yield WaitFlag(rb.ack_flag, True)
+            else:
+                yield from wait_acked(rb)
+        with ex.mutex:
+            ledger.add("generate", locale, acct["generate"])
+            ledger.add("stall", locale, acct["stall"])
         stall_total.add(acct["stall"])
         if work_stealing:
             consumer_counts[locale].add(1)
@@ -801,25 +1020,43 @@ def _resilient_pipeline(
                 name=f"cons-{locale}-{c}",
                 track=(f"locale{locale}", f"consumer{c}"),
                 locale=locale,
+                # Consumers are safely restartable after an injected
+                # crash on threads: consumption state lives in the shared
+                # buffers and consumed_seq makes reprocessing idempotent.
+                # Producers are NOT restartable — a lost in-flight chunk
+                # cursor would corrupt the result, so producer loss
+                # escalates to the operator-level restart/fallback.
+                factory=(lambda locale=locale: consumer_body(locale)),
             )
     ex.spawn(closer(), name="closer")
     elapsed = ex.run()
 
-    n_diag = apply_diagonal(op, basis, x, y)
-    diag_elapsed = max(
-        machine.compute_time(machine.t_axpy, int(c) * k) for c in basis.counts
-    )
-    if trace is not None:
-        for locale in range(n):
+    if ex.wall_clock:
+        diag_start = time.perf_counter()
+        n_diag = apply_diagonal(op, basis, x, y)
+        diag_elapsed = time.perf_counter() - diag_start
+        if trace is not None:
             trace.complete(
-                (f"locale{locale}", "diagonal"),
-                "diagonal",
-                elapsed,
-                machine.compute_time(
-                    machine.t_axpy, int(basis.counts[locale]) * k
-                ),
+                ("diagonal", "main"), "diagonal", elapsed, diag_elapsed
             )
-        trace.advance(elapsed + diag_elapsed)
+            trace.advance(elapsed + diag_elapsed)
+    else:
+        n_diag = apply_diagonal(op, basis, x, y)
+        diag_elapsed = max(
+            machine.compute_time(machine.t_axpy, int(c) * k)
+            for c in basis.counts
+        )
+        if trace is not None:
+            for locale in range(n):
+                trace.complete(
+                    (f"locale{locale}", "diagonal"),
+                    "diagonal",
+                    elapsed,
+                    machine.compute_time(
+                        machine.t_axpy, int(basis.counts[locale]) * k
+                    ),
+                )
+            trace.advance(elapsed + diag_elapsed)
     report.elapsed = elapsed + diag_elapsed
     report.merge_phase("pipeline", elapsed)
     report.merge_phase("diagonal", diag_elapsed)
@@ -830,7 +1067,9 @@ def _resilient_pipeline(
     report.extras["block_width"] = float(k)
     report.extras["seconds_per_column"] = report.elapsed / k
     report.extras["resilient"] = 1.0
-    metrics.counter("sim.seconds", phase="matvec").inc(report.elapsed)
+    metrics.counter(
+        "wall.seconds" if ex.wall_clock else "sim.seconds", phase="matvec"
+    ).inc(report.elapsed)
     attribute_report(report, "matvec.pc", x, y)
     if metrics.enabled:
         report.metrics = metrics.snapshot()

@@ -82,12 +82,15 @@ class FaultError(ReproError):
 
 
 class DeadlockError(FaultError, RuntimeError):
-    """Raised by the simulator watchdog when no event can make progress.
+    """Raised when no process can make progress after injected crashes.
 
-    Inherits :class:`RuntimeError` for backwards compatibility with callers
-    that caught the old untyped deadlock error, and :class:`FaultError`
-    because under fault injection a deadlock *is* an unrecovered fault
-    (e.g. every consumer of a queue crashed).
+    Comes from the simulator watchdog (empty event heap with blocked
+    processes) or the threads backend's crash watchdog (every live worker
+    blocked after an injected crash killed its peer).  Inherits
+    :class:`RuntimeError` for backwards compatibility with callers that
+    caught the old untyped deadlock error, and :class:`FaultError` because
+    under fault injection a deadlock *is* an unrecovered fault (e.g. every
+    consumer of a queue crashed).
 
     Attributes
     ----------
@@ -118,8 +121,7 @@ class BackendError(ReproError):
 
     - an unknown or unsupported ``backend=`` selection on a
       :class:`~repro.runtime.cluster.Cluster` (or a feature the chosen
-      backend does not implement, e.g. fault injection on the real
-      shared-memory backend — faults are sim-only for now);
+      backend does not implement);
     - a worker raising mid-matvec on the parallel backend: the original
       exception is chained as ``__cause__``, the failing worker's locale
       is recorded in :attr:`locale`, and the remaining workers are

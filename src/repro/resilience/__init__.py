@@ -5,9 +5,12 @@ Three pieces (see ``docs/RESILIENCE.md``):
 - :class:`FaultPlan` — a *seeded, deterministic* schedule of injected
   faults (message drops, duplicated deliveries, bounded send delays,
   per-locale straggler slowdowns, locale crash-at-time-T) consulted by the
-  discrete-event :class:`~repro.runtime.events.Simulator` and the analytic
-  matvec cost models.  The same plan + seed always produces the same event
-  schedule, the same ``fault.*`` metric counts, and the same final vectors.
+  discrete-event :class:`~repro.runtime.events.Simulator`, the analytic
+  matvec cost models, and — via keyed per-message fates — the real
+  ``threads`` backend's executor primitives.  The same plan + seed always
+  produces the same fault schedule on the simulator (same event order,
+  ``fault.*`` metric counts, and final vectors) and the same per-message
+  fates on ``threads`` regardless of thread interleaving.
 - :class:`ResilienceConfig` — the recovery policy: ack timeouts and
   exponential backoff for unacknowledged ``RemoteBuffer`` handoffs,
   retry/restart budgets, checksum toggles, straggler thresholds, and the

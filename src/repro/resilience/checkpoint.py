@@ -20,10 +20,18 @@ Read protocol: :func:`load_checkpoint` re-hashes every file against the
 manifest and raises :class:`~repro.errors.CheckpointError` on any
 mismatch; :func:`load_latest_checkpoint` walks checkpoints newest-first,
 skipping corrupt ones (counted as ``checkpoint.skipped_corrupt``).
+
+Concurrency: writers sharing one directory (e.g. a restarted solver racing
+its predecessor's last save, or two solver instances pointed at the same
+path) serialize on an ``flock``-ed ``<dir>/.lock`` file, so tmp-dir reuse,
+the final rename, and pruning never interleave.  Readers take no lock —
+they rely on the manifest check instead, and treat a checkpoint pruned out
+from under them as corrupt (skipped), never as a crash.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import shutil
@@ -36,6 +44,11 @@ import numpy as np
 
 from repro import telemetry
 from repro.errors import CheckpointError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 __all__ = [
     "CheckpointState",
@@ -73,6 +86,26 @@ def _checkpoint_files(root: Path) -> list[Path]:
     )
 
 
+@contextlib.contextmanager
+def _write_lock(directory: Path):
+    """Mutual exclusion between checkpoint writers on one directory.
+
+    ``flock`` conflicts between distinct open file descriptions, so this
+    serializes both separate processes and separate threads of one
+    process (each entry opens its own handle).  Degrades to a no-op where
+    ``fcntl`` is unavailable.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    with open(directory / ".lock", "ab") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
 def write_checkpoint(
     directory,
     iteration: int,
@@ -97,39 +130,40 @@ def write_checkpoint(
     directory.mkdir(parents=True, exist_ok=True)
     final = directory / f"{_PREFIX}{iteration:06d}"
     tmp = directory / (final.name + ".tmp")
-    if tmp.exists():
-        shutil.rmtree(tmp)
-    tmp.mkdir()
-    if arrays:
-        with open(tmp / "state.npz", "wb") as handle:
-            np.savez(handle, **arrays)
-    for index, vector in enumerate(vectors):
-        space.save_vector(tmp, f"v{index:04d}", vector)
-    files = {
-        str(path.relative_to(tmp)): _crc_entry(path)
-        for path in _checkpoint_files(tmp)
-    }
-    manifest = {
-        "format": _FORMAT,
-        "iteration": int(iteration),
-        "meta": meta if meta is not None else {},
-        "n_vectors": len(vectors),
-        "files": files,
-    }
-    manifest_tmp = tmp / (_MANIFEST + ".tmp")
-    manifest_tmp.write_text(json.dumps(manifest, indent=2))
-    os.replace(manifest_tmp, tmp / _MANIFEST)
-    if final.exists():
-        shutil.rmtree(final)
-    os.replace(tmp, final)
-    metrics = telemetry.current().metrics
-    metrics.counter("checkpoint.saves").inc()
-    metrics.counter("checkpoint.bytes").inc(
-        sum(entry["nbytes"] for entry in files.values())
-    )
-    if keep > 0:
-        for stale in list_checkpoints(directory)[:-keep]:
-            shutil.rmtree(stale, ignore_errors=True)
+    with _write_lock(directory):
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        if arrays:
+            with open(tmp / "state.npz", "wb") as handle:
+                np.savez(handle, **arrays)
+        for index, vector in enumerate(vectors):
+            space.save_vector(tmp, f"v{index:04d}", vector)
+        files = {
+            str(path.relative_to(tmp)): _crc_entry(path)
+            for path in _checkpoint_files(tmp)
+        }
+        manifest = {
+            "format": _FORMAT,
+            "iteration": int(iteration),
+            "meta": meta if meta is not None else {},
+            "n_vectors": len(vectors),
+            "files": files,
+        }
+        manifest_tmp = tmp / (_MANIFEST + ".tmp")
+        manifest_tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(manifest_tmp, tmp / _MANIFEST)
+        if final.exists():
+            shutil.rmtree(final)
+        os.replace(tmp, final)
+        metrics = telemetry.current().metrics
+        metrics.counter("checkpoint.saves").inc()
+        metrics.counter("checkpoint.bytes").inc(
+            sum(entry["nbytes"] for entry in files.values())
+        )
+        if keep > 0:
+            for stale in list_checkpoints(directory)[:-keep]:
+                shutil.rmtree(stale, ignore_errors=True)
     return final
 
 
@@ -177,32 +211,43 @@ def load_checkpoint(path, *, space=None, like=None) -> CheckpointState:
             f"this build reads format {_FORMAT}"
         )
     files = manifest["files"]
-    on_disk = {str(p.relative_to(path)) for p in _checkpoint_files(path)}
-    missing = sorted(set(files) - on_disk)
-    if missing:
-        raise CheckpointError(f"checkpoint {path} is missing {missing}")
-    for rel, expected in sorted(files.items()):
-        entry = _crc_entry(path / rel)
-        if entry != expected:
+    try:
+        on_disk = {str(p.relative_to(path)) for p in _checkpoint_files(path)}
+        missing = sorted(set(files) - on_disk)
+        if missing:
+            raise CheckpointError(f"checkpoint {path} is missing {missing}")
+        for rel, expected in sorted(files.items()):
+            entry = _crc_entry(path / rel)
+            if entry != expected:
+                raise CheckpointError(
+                    f"checkpoint file {path / rel} failed integrity check: "
+                    f"manifest says {expected}, file has {entry}"
+                )
+        # The manifest decides what must exist: probing the filesystem
+        # instead would let a checkpoint pruned mid-load read back as
+        # one with no arrays rather than as CheckpointError.
+        arrays: dict[str, np.ndarray] = {}
+        if "state.npz" in files:
+            with np.load(path / "state.npz") as bundle:
+                arrays = {key: bundle[key] for key in bundle.files}
+        n_vectors = manifest.get("n_vectors", 0)
+        if n_vectors and space is None:
             raise CheckpointError(
-                f"checkpoint file {path / rel} failed integrity check: "
-                f"manifest says {expected}, file has {entry}"
+                f"checkpoint {path} holds {n_vectors} vectors; pass the "
+                "solver's vector space to load them"
             )
-    arrays: dict[str, np.ndarray] = {}
-    state_path = path / "state.npz"
-    if state_path.exists():
-        with np.load(state_path) as bundle:
-            arrays = {key: bundle[key] for key in bundle.files}
-    n_vectors = manifest.get("n_vectors", 0)
-    if n_vectors and space is None:
+        vectors = [
+            space.load_vector(path, f"v{index:04d}", like=like)
+            for index in range(n_vectors)
+        ]
+    except FileNotFoundError as exc:
+        # A concurrent writer's keep-N prune can delete this checkpoint
+        # between the manifest read and the file hashing: treat it as
+        # corrupt (the caller skips to an older/newer one), not a crash.
         raise CheckpointError(
-            f"checkpoint {path} holds {n_vectors} vectors; pass the "
-            "solver's vector space to load them"
-        )
-    vectors = [
-        space.load_vector(path, f"v{index:04d}", like=like)
-        for index in range(n_vectors)
-    ]
+            f"checkpoint {path} vanished while loading "
+            "(pruned by a concurrent writer?)"
+        ) from exc
     telemetry.current().metrics.counter("checkpoint.loads").inc()
     return CheckpointState(
         iteration=int(manifest["iteration"]),

@@ -11,6 +11,14 @@ identical fault schedule -> identical simulation* holds exactly, which is
 what makes chaos runs replayable and the determinism tests in
 ``tests/test_resilience.py`` possible.
 
+The real ``threads`` backend cannot rely on a fixed draw order — thread
+interleaving is nondeterministic — so it consults
+:meth:`FaultPlan.message_fate_keyed` instead, which derives each fate from
+a generator seeded on the *message identity* ``(seed, src, dst, seq,
+salt)``.  The same seeded plan then injects the same fate for the same
+message on every run, independent of scheduling, without perturbing the
+sequential draws the simulator's baselines are pinned to.
+
 Crash faults are *one-shot*: :meth:`FaultPlan.take_crashes` hands the
 pending crash schedule to the first consumer and marks it consumed, so a
 retried or fallback matvec models the post-reboot cluster rather than
@@ -119,6 +127,42 @@ class FaultPlan:
         if not self.injects_message_faults:
             return _CLEAN_FATE
         u = self._rng.random(4)
+        drop = bool(u[0] < self.drop)
+        duplicate = bool(u[1] < self.duplicate)
+        corrupt = bool(u[2] < self.corrupt)
+        extra = float(u[3] * self.max_delay) if u[3] < self.delay else 0.0
+        metrics = telemetry.current().metrics
+        if drop:
+            metrics.counter("fault.drops", src=src, dst=dst).inc()
+        if duplicate:
+            metrics.counter("fault.duplicates").inc()
+        if corrupt:
+            metrics.counter("fault.corruptions").inc()
+        if extra > 0.0:
+            metrics.counter("fault.delays").inc()
+        return MessageFate(drop, duplicate, corrupt, extra)
+
+    def message_fate_keyed(
+        self, src: int, dst: int, seq: int, salt: int = 0
+    ) -> MessageFate:
+        """Draw the fate of message ``seq`` on the ``src -> dst`` edge.
+
+        Unlike :meth:`message_fate`, which consumes the plan's sequential
+        RNG stream (and therefore requires a deterministic consultation
+        *order*), this derives the fate from ``(seed, src, dst, seq,
+        salt)`` alone.  Any thread can ask about any message in any order
+        and get the same answer, which is what makes a seeded plan
+        reproducible on the real ``threads`` backend where message timing
+        is wall-clock and interleaving is host-dependent.  ``salt``
+        disambiguates parallel streams sharing an edge (e.g. one per
+        transfer buffer).  The simulator keeps using the sequential draw
+        so its baselines stay bit-identical.
+        """
+        if not self.injects_message_faults:
+            return _CLEAN_FATE
+        u = np.random.default_rng(
+            (self.seed, int(src), int(dst), int(seq), int(salt))
+        ).random(4)
         drop = bool(u[0] < self.drop)
         duplicate = bool(u[1] < self.duplicate)
         corrupt = bool(u[2] < self.corrupt)
@@ -266,6 +310,12 @@ class ResilienceConfig:
     matvec_restarts: int = 1
     #: flag a locale as straggler when busy > threshold * median busy
     straggler_threshold: float = 3.0
+    #: wall seconds the ThreadExecutor deadlock watchdog waits before
+    #: declaring all-blocked workers deadlocked (threads backend only)
+    watchdog_timeout: float = 20.0
+    #: restarts allowed per supervised worker on the threads backend
+    #: before an injected crash escalates to a typed FaultError
+    max_worker_restarts: int = 2
 
     def __post_init__(self) -> None:
         if self.ack_timeout <= 0:
@@ -276,6 +326,24 @@ class ResilienceConfig:
             raise ValueError("max_retries must be >= 0")
         if self.straggler_threshold <= 1.0:
             raise ValueError("straggler_threshold must exceed 1")
+        if self.watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be >= 0")
+
+    def to_config(self) -> dict[str, Any]:
+        """JSON-style mapping that round-trips through :meth:`from_config`."""
+        default = type(self)()
+        return {
+            name: getattr(self, name)
+            for name in (
+                "ack_timeout", "backoff", "max_retries", "checksums",
+                "fallback_to_batched", "matvec_restarts",
+                "straggler_threshold", "watchdog_timeout",
+                "max_worker_restarts",
+            )
+            if getattr(self, name) != getattr(default, name)
+        }
 
     @classmethod
     def from_config(cls, cfg: Mapping[str, Any]) -> "ResilienceConfig":

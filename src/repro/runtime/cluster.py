@@ -40,8 +40,11 @@ class Cluster:
     on this cluster runs on (see :mod:`repro.runtime.executor` and
     ``docs/BACKENDS.md``): ``"sim"`` (default) is the discrete-event
     simulator with modelled timings; ``"threads"`` runs each locale as a
-    real worker thread and reports wall-clock timings.  Fault injection
-    is sim-only, so ``backend="threads"`` rejects ``faults=``.
+    real worker thread and reports wall-clock timings.  Both backends
+    accept ``faults`` / ``resilience``: the simulator injects fates in
+    simulated time, the threads backend injects the same seeded plan at
+    the executor primitives in wall-clock time (see
+    ``docs/RESILIENCE.md``, "Chaos on the threads backend").
     """
 
     def __init__(
@@ -58,11 +61,6 @@ class Cluster:
             raise BackendError(
                 f"unknown execution backend {backend!r}; choose from "
                 f"{BACKENDS}"
-            )
-        if backend != "sim" and faults is not None:
-            raise BackendError(
-                "fault injection is sim-only for now: attach faults to a "
-                "backend='sim' cluster (see docs/BACKENDS.md)"
             )
         self.machine = machine if machine is not None else snellius_machine()
         self.locales = [

@@ -12,8 +12,8 @@ generator can be *interpreted* by different executors:
     the existing discrete-event :class:`~repro.runtime.events.Simulator`.
     Commands advance a simulated clock; timings are a pure function of
     the machine model and bit-identical to the pre-abstraction code.
-    This is the only backend that supports fault injection and the
-    chaos/resilience machinery.
+    Fault injection is applied in simulated time (per-delivery fates
+    drawn from the plan's sequential RNG stream).
 
 :class:`ThreadExecutor`
     a real shared-memory parallel backend: every spawned process runs on
@@ -28,6 +28,17 @@ generator can be *interpreted* by different executors:
     mid-matvec failure propagates instead of hanging.  A watchdog turns
     a genuine protocol deadlock (all live workers blocked, no wakeups)
     into the same typed error.
+
+    Fault injection runs here too (same ``FaultPlan`` contract, wall
+    clock instead of simulated time): locale crash schedules kill the
+    locale's workers at their next yield once the wall clock passes the
+    crash time, straggler factors stretch each worker's real busy spans
+    with a matching sleep, and supervised workers (spawned with a
+    ``factory=``) are restarted with exponential backoff up to
+    ``ResilienceConfig.max_worker_restarts``.  An unrecovered crash
+    surfaces as a typed :class:`~repro.errors.FaultError` /
+    :class:`~repro.errors.DeadlockError` — never as a silent partial
+    result or an indefinite hang.
 
 Backend selection is a :class:`~repro.runtime.cluster.Cluster` /config/
 CLI concern: algorithms call :func:`get_executor(cluster, ...)` and never
@@ -54,7 +65,7 @@ from collections import deque
 from contextlib import nullcontext
 from typing import Any, Callable, Generator, Iterator, Sequence
 
-from repro.errors import BackendError
+from repro.errors import BackendError, DeadlockError, FaultError
 from repro.runtime.events import (
     Acquire,
     Pop,
@@ -267,10 +278,20 @@ class SimExecutor(Executor):
         name: str = "task",
         track: tuple[str, str] | None = None,
         locale: int | None = None,
+        factory: Callable[[], Generator | Iterator] | None = None,
     ):
+        # ``factory`` (the threads-backend restart hook) is ignored: the
+        # simulator models crashes in simulated time and the protocols
+        # recover at the operator level instead of restarting processes.
         return self.sim.spawn(gen, name=name, track=track, locale=locale)
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        self.sim.call_later(delay, fn)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after a *genuine* delay (simulated here, wall on
+        threads).  Used by the fault layer for injected message delays,
+        which must actually postpone a delivery on every backend."""
         self.sim.call_later(delay, fn)
 
     def run(self, until: float | None = None) -> float:
@@ -301,6 +322,10 @@ class SimExecutor(Executor):
 
 class _Cancelled(BaseException):
     """Internal unwind signal: another worker failed, stop quietly."""
+
+
+class _CrashInjected(BaseException):
+    """Internal signal: an injected locale crash killed this worker."""
 
 
 class _ThreadFlag:
@@ -416,9 +441,10 @@ class _ThreadProcess:
 
     __slots__ = (
         "gen", "name", "track", "locale", "thread", "waiting_on", "buffer",
+        "factory", "restarts", "crash_handled",
     )
 
-    def __init__(self, gen, name, track, locale) -> None:
+    def __init__(self, gen, name, track, locale, factory=None) -> None:
         self.gen = gen
         self.name = name
         self.track = track if track is not None else ("threads", name)
@@ -428,6 +454,14 @@ class _ThreadProcess:
         self.waiting_on: str | None = None
         #: per-process span buffer when tracing, else None
         self.buffer = None
+        #: zero-arg callable producing a fresh generator — marks this
+        #: worker as supervised/restartable after an injected crash
+        self.factory = factory
+        #: restarts consumed so far (bounded by max_worker_restarts)
+        self.restarts = 0
+        #: True once this process was killed by its locale's crash fate
+        #: (one-shot: a restarted incarnation does not re-crash)
+        self.crash_handled = False
 
 
 class ThreadExecutor(Executor):
@@ -461,11 +495,22 @@ class ThreadExecutor(Executor):
     wall_clock = True
 
     #: seconds of "all live workers blocked, zero wakeups" before the
-    #: watchdog declares a deadlock
+    #: watchdog declares a deadlock (overridden per-instance by
+    #: ``ResilienceConfig.watchdog_timeout`` when resilience is attached)
     watchdog_seconds = 20.0
 
+    #: watchdog window used once an injected crash has fired: a stall
+    #: caused by a killed worker should escalate to a typed FaultError
+    #: quickly, not after the full deadlock window
+    crash_watchdog_seconds = 1.0
+
     def __init__(
-        self, trace=None, n_workers: int | None = None, profile=None
+        self,
+        trace=None,
+        n_workers: int | None = None,
+        profile=None,
+        faults=None,
+        resilience=None,
     ) -> None:
         self._cv = threading.Condition()
         if profile is None:
@@ -484,10 +529,22 @@ class ThreadExecutor(Executor):
             n_workers if n_workers is not None else (os.cpu_count() or 1)
         )
         self._processes: list[_ThreadProcess] = []
-        self._failure: BackendError | None = None
+        self._failure: BackendError | FaultError | None = None
         self._wake_seq = 0  # bumped on every notify (watchdog heartbeat)
         self._waiting = 0  # threads currently parked in a blocking wait
         self._t0: float | None = None
+        self._faults = faults
+        self._crashes: dict[int, float] = (
+            faults.take_crashes() if faults is not None else {}
+        )
+        self._crashed: set[int] = set()
+        self._crash_deaths: list[str] = []  # killed and not restarted
+        if resilience is not None:
+            self.watchdog_seconds = float(resilience.watchdog_timeout)
+            self._max_worker_restarts = int(resilience.max_worker_restarts)
+        else:
+            self._max_worker_restarts = 2
+        self._timers: list[threading.Timer] = []
 
     # -- primitives ---------------------------------------------------------
 
@@ -521,6 +578,34 @@ class ThreadExecutor(Executor):
             return 0.0
         return time.perf_counter() - self._t0
 
+    @property
+    def crashed_locales(self) -> set[int]:
+        with self._cv:
+            return set(self._crashed)
+
+    # -- fault injection ----------------------------------------------------
+
+    def _check_crash(self, proc: _ThreadProcess) -> None:
+        """Kill ``proc`` (raise :class:`_CrashInjected`) when its locale's
+        crash time has passed.  Mirrors the simulator: a process dies the
+        next time it would run at or after the crash time; each process
+        dies at most once per crash event (a restarted incarnation runs
+        on the rebooted locale)."""
+        if proc.crash_handled or proc.locale is None or not self._crashes:
+            return
+        deadline = self._crashes.get(proc.locale)
+        if deadline is None or self.now < deadline:
+            return
+        proc.crash_handled = True
+        record = False
+        with self._cv:
+            if proc.locale not in self._crashed:
+                self._crashed.add(proc.locale)
+                record = True
+        if record and self._faults is not None:
+            self._faults.record_crash(proc.locale)
+        raise _CrashInjected
+
     # -- condition-variable plumbing ----------------------------------------
 
     def _wake(self) -> None:
@@ -529,7 +614,10 @@ class ThreadExecutor(Executor):
         self._cv.notify_all()
 
     def _fail(self, exc: BaseException, proc: _ThreadProcess | None) -> None:
-        if isinstance(exc, BackendError):
+        if isinstance(exc, (BackendError, FaultError)):
+            # Typed errors pass through unchanged: FaultError in
+            # particular must stay catchable by the operator-level
+            # recovery loop (restart / pc->batched fallback).
             err = exc
         else:
             where = (
@@ -583,8 +671,9 @@ class ThreadExecutor(Executor):
         name: str = "task",
         track: tuple[str, str] | None = None,
         locale: int | None = None,
+        factory: Callable[[], Generator | Iterator] | None = None,
     ) -> _ThreadProcess:
-        proc = _ThreadProcess(gen, name, track, locale)
+        proc = _ThreadProcess(gen, name, track, locale, factory=factory)
         if self._tracing:
             proc.buffer = self.profile.buffer(proc.track)
         self._processes.append(proc)
@@ -607,7 +696,75 @@ class ThreadExecutor(Executor):
         # visible, exactly like a same-node atomic.
         fn()
 
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after a *genuine* wall-clock delay.
+
+        Unlike :meth:`call_later` (modelled latency, collapses to zero in
+        shared memory), this really postpones the callback — it is how
+        injected message-delay fates take effect on the real backend.  A
+        timer still pending when ``run()`` finishes is cancelled.
+        """
+        if delay <= 0.0:
+            fn()
+            return
+        ctx = contextvars.copy_context()
+        timer = threading.Timer(delay, ctx.run, args=(fn,))
+        timer.daemon = True
+        with self._cv:
+            self._timers.append(timer)
+        timer.start()
+
     def _drive(self, proc: _ThreadProcess) -> None:
+        """Thread main: interpret the generator, supervise restarts.
+
+        An injected locale crash raises :class:`_CrashInjected` out of
+        :meth:`_interpret`; a supervised worker (spawned with
+        ``factory=``) is then restarted with exponential backoff up to
+        the ``max_worker_restarts`` budget, and an exhausted budget
+        escalates as a typed :class:`~repro.errors.FaultError`.  An
+        unsupervised worker simply dies — the crash watchdog in
+        :meth:`run` turns the resulting stall (or the incomplete result)
+        into a typed error.
+        """
+        while True:
+            try:
+                self._interpret(proc)
+                return
+            except _Cancelled:
+                return
+            except _CrashInjected:
+                if (
+                    proc.factory is None
+                    or proc.restarts >= self._max_worker_restarts
+                ):
+                    with self._cv:
+                        self._crash_deaths.append(proc.name)
+                        self._wake()
+                    if proc.factory is not None:
+                        self._fail(
+                            FaultError(
+                                f"supervised worker {proc.name!r} (locale "
+                                f"{proc.locale}) crashed and its restart "
+                                f"budget ({self._max_worker_restarts}) is "
+                                "exhausted"
+                            ),
+                            proc,
+                        )
+                    return
+                proc.restarts += 1
+                metrics = _current_telemetry().metrics
+                if metrics.enabled:
+                    with self.mutex:
+                        metrics.counter(
+                            "recovery.worker_restarts", locale=proc.locale
+                        ).inc()
+                time.sleep(min(0.01 * (2 ** (proc.restarts - 1)), 1.0))
+                proc.gen = proc.factory()
+            except BaseException as exc:  # noqa: BLE001 -> BackendError
+                self._fail(exc, proc)
+                return
+
+    def _interpret(self, proc: _ThreadProcess) -> None:
         gen = proc.gen
         value: Any = None
         prof = self.profile
@@ -616,9 +773,15 @@ class ThreadExecutor(Executor):
         t0 = self._t0
         busy = 0.0
         blocked = 0.0
+        slow = (
+            self._faults.slowdown(proc.locale)
+            if self._faults is not None
+            else 1.0
+        )
         last_resume = time.perf_counter()
         try:
             while True:
+                self._check_crash(proc)
                 command = gen.send(value)
                 value = None
                 blocked_at = time.perf_counter()
@@ -633,6 +796,14 @@ class ThreadExecutor(Executor):
                             blocked_at - last_resume,
                             command.args,
                         )
+                    if slow > 1.0:
+                        # Injected straggler: stretch the real busy span
+                        # by the plan's factor (the wall-clock analogue
+                        # of the simulator stretching the Timeout).
+                        extra = (blocked_at - last_resume) * (slow - 1.0)
+                        if extra > 0.0:
+                            time.sleep(min(extra, 1.0))
+                            busy += extra
                 elif isinstance(command, WaitFlag):
                     flag = command.flag
                     deadline = (
@@ -706,11 +877,9 @@ class ThreadExecutor(Executor):
                 last_resume = time.perf_counter()
         except StopIteration:
             pass
-        except _Cancelled:
-            pass
-        except BaseException as exc:  # noqa: BLE001 - converted to BackendError
-            self._fail(exc, proc)
         finally:
+            # Per-incarnation accounting: counters add up across
+            # supervised restarts of the same worker.
             if metering:
                 prof.worker(proc.name, proc.locale, busy, blocked)
 
@@ -719,7 +888,14 @@ class ThreadExecutor(Executor):
 
         Raises :class:`~repro.errors.BackendError` when any worker
         failed, or when the watchdog finds every live worker blocked
-        with no wakeups for :attr:`watchdog_seconds`.
+        with no wakeups for :attr:`watchdog_seconds`.  Once an injected
+        crash has killed a worker, the watchdog window shrinks to
+        :attr:`crash_watchdog_seconds` and the stall escalates as a
+        typed :class:`~repro.errors.DeadlockError` (a ``FaultError``) —
+        the hook the operator-level recovery (restart / pc->batched
+        fallback) heals.  A crash that leaves the run incomplete without
+        a stall (the dead worker's output simply missing) raises the
+        same typed error instead of returning silently wrong data.
         """
         if self._t0 is None:
             return 0.0
@@ -742,25 +918,53 @@ class ThreadExecutor(Executor):
                     blocked_count == len(alive)
                     and self._waiting >= len(alive)
                 )
+                crashed = sorted(self._crashed)
+                casualties = bool(self._crash_deaths)
             if not all_blocked or seq != stuck_seq:
                 stuck_since, stuck_seq = None, seq
                 continue
+            window = (
+                self.crash_watchdog_seconds
+                if casualties
+                else self.watchdog_seconds
+            )
             if stuck_since is None:
                 stuck_since = time.perf_counter()
-            elif time.perf_counter() - stuck_since > self.watchdog_seconds:
+            elif time.perf_counter() - stuck_since > window:
                 blocked = [
                     f"{p.name} waiting on {p.waiting_on or '<unknown>'}"
                     for p in alive
                 ]
-                self._fail(
-                    BackendError(
-                        "parallel backend deadlock: "
-                        f"{len(alive)} worker(s) blocked with no wakeups "
-                        f"for {self.watchdog_seconds:.0f}s: "
-                        + "; ".join(blocked[:8])
-                    ),
-                    None,
-                )
+                if casualties:
+                    self._fail(
+                        DeadlockError(
+                            "parallel backend stalled after injected "
+                            f"crash: {len(alive)} worker(s) blocked with "
+                            f"no wakeups for {window:.1f}s "
+                            f"(crashed locales: {crashed}): "
+                            + "; ".join(blocked[:8]),
+                            blocked=[
+                                (p.name, p.waiting_on or "<unknown>")
+                                for p in alive
+                            ],
+                            crashed_locales=crashed,
+                        ),
+                        None,
+                    )
+                else:
+                    self._fail(
+                        BackendError(
+                            "parallel backend deadlock: "
+                            f"{len(alive)} worker(s) blocked with no "
+                            f"wakeups for {window:.0f}s: "
+                            + "; ".join(blocked[:8])
+                        ),
+                        None,
+                    )
+        with self._cv:
+            timers, self._timers = self._timers, []
+        for timer in timers:
+            timer.cancel()
         elapsed = time.perf_counter() - self._t0
         # All workers have joined: merge the per-thread span buffers and
         # contention metrics *before* propagating any failure, so the
@@ -768,6 +972,16 @@ class ThreadExecutor(Executor):
         self.finish()
         if self._failure is not None:
             raise self._failure
+        if self._crash_deaths:
+            # Every worker retired, but some died to an injected crash
+            # without a restart: their share of the work is missing.
+            # Fail loudly — never return a silently incomplete result.
+            raise DeadlockError(
+                f"worker(s) {sorted(set(self._crash_deaths))} killed by "
+                f"injected crash (locales {sorted(self._crashed)}) and "
+                "not restarted; the run's output is incomplete",
+                crashed_locales=sorted(self._crashed),
+            )
         return elapsed
 
     def map(
@@ -823,25 +1037,26 @@ class ThreadExecutor(Executor):
         return results
 
 
-def get_executor(cluster, trace=None, faults=None) -> Executor:
+def get_executor(cluster, trace=None, faults=None, resilience=None) -> Executor:
     """The executor for ``cluster``'s configured backend.
 
     ``trace`` is an optional :class:`~repro.telemetry.trace.TraceRecorder`;
-    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan`) is only
-    supported by the simulator backend — the real backend raises a typed
-    :class:`~repro.errors.BackendError` because injected faults are
-    defined in simulated time.
+    ``faults`` (a :class:`~repro.resilience.faults.FaultPlan`) is
+    supported by both backends — the simulator injects fates in
+    simulated time, the threads backend at its primitives in wall-clock
+    time (crash kills, straggler sleeps, real delivery delays; see
+    ``docs/RESILIENCE.md``).  ``resilience`` (a
+    :class:`~repro.resilience.faults.ResilienceConfig`) configures the
+    threads backend's supervision knobs — watchdog timeout and worker
+    restart budget; when omitted, ``cluster.resilience`` applies.
     """
     backend = getattr(cluster, "backend", "sim")
+    if resilience is None:
+        resilience = getattr(cluster, "resilience", None)
     if backend == "sim":
         return SimExecutor(trace=trace, faults=faults)
     if backend == "threads":
-        if faults is not None:
-            raise BackendError(
-                "fault injection is sim-only for now: run faults/chaos "
-                "workloads on backend='sim' (see docs/BACKENDS.md)"
-            )
-        return ThreadExecutor(trace=trace)
+        return ThreadExecutor(trace=trace, faults=faults, resilience=resilience)
     raise BackendError(
         f"unknown execution backend {backend!r}; choose from {BACKENDS}"
     )

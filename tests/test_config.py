@@ -179,6 +179,85 @@ class TestRunning:
         assert result["converged"]
 
 
+class TestResilienceKnobs:
+    """Round-trips for the threads-backend supervision knobs
+    (``watchdog_timeout`` / ``max_worker_restarts``) through
+    ``ResilienceConfig`` configs, the cluster section, and the CLI."""
+
+    def test_resilience_config_round_trip(self):
+        from repro.resilience import ResilienceConfig
+
+        cfg = ResilienceConfig(watchdog_timeout=7.5, max_worker_restarts=5)
+        assert cfg.to_config() == {
+            "watchdog_timeout": 7.5,
+            "max_worker_restarts": 5,
+        }
+        clone = ResilienceConfig.from_config(cfg.to_config())
+        assert clone.watchdog_timeout == 7.5
+        assert clone.max_worker_restarts == 5
+        assert clone.to_config() == cfg.to_config()
+
+    def test_default_knobs_omitted_from_config(self):
+        from repro.resilience import ResilienceConfig
+
+        assert "watchdog_timeout" not in ResilienceConfig().to_config()
+        assert "max_worker_restarts" not in ResilienceConfig().to_config()
+
+    def test_knob_validation(self):
+        from repro.resilience import ResilienceConfig
+
+        with pytest.raises(ValueError):
+            ResilienceConfig(watchdog_timeout=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_worker_restarts=-1)
+
+    def test_cluster_section_reaches_executor(self):
+        """The resilience section of a threads cluster spec configures
+        the executor's watchdog and restart budget."""
+        from repro.resilience import ResilienceConfig
+        from repro.runtime import Cluster, laptop_machine
+        from repro.runtime.executor import get_executor
+
+        cfg = ResilienceConfig.from_config(
+            {"watchdog_timeout": 9.0, "max_worker_restarts": 4}
+        )
+        cluster = Cluster(
+            2, laptop_machine(), resilience=cfg, backend="threads"
+        )
+        ex = get_executor(cluster)
+        assert ex.watchdog_seconds == 9.0
+        assert ex._max_worker_restarts == 4
+
+    def test_cli_flags_inject_resilience_section(self, tmp_path, capsys):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps({
+            "n_sites": 8,
+            "hamiltonian": {"model": "heisenberg_chain"},
+            "basis": {"hamming_weight": 4},
+            "solver": {"k": 1, "tol": 1e-10},
+            "cluster": {"n_locales": 2, "machine": "laptop"},
+        }))
+        main([
+            str(input_path),
+            "--watchdog-timeout", "30",
+            "--max-worker-restarts", "4",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert out["converged"]
+
+    def test_cli_flags_require_cluster_section(self, tmp_path):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps(BASE_SPEC))
+        with pytest.raises(ReproError, match="watchdog-timeout"):
+            main([str(input_path), "--watchdog-timeout", "30"])
+        with pytest.raises(ReproError, match="max-worker-restarts"):
+            main([str(input_path), "--max-worker-restarts", "1"])
+
+
 class TestObservables:
     SPEC = {
         "n_sites": 12,

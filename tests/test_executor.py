@@ -292,16 +292,23 @@ class TestBackendSelection:
         with pytest.raises(BackendError, match="mpi"):
             Cluster(2, laptop_machine(), backend="mpi")
 
-    def test_faults_rejected_on_threads(self):
-        from repro.resilience import FaultPlan
+    def test_faults_accepted_on_threads(self):
+        from repro.resilience import FaultPlan, ResilienceConfig
 
-        with pytest.raises(BackendError, match="sim-only"):
-            Cluster(
-                2,
-                laptop_machine(),
-                faults=FaultPlan(seed=1, drop=0.5),
-                backend="threads",
-            )
+        cluster = Cluster(
+            2,
+            laptop_machine(),
+            faults=FaultPlan(seed=1, drop=0.5),
+            resilience=ResilienceConfig(
+                watchdog_timeout=7.5, max_worker_restarts=3
+            ),
+            backend="threads",
+        )
+        ex = get_executor(cluster, faults=cluster.faults)
+        assert isinstance(ex, ThreadExecutor)
+        # Supervision knobs flow from cluster.resilience into the executor.
+        assert ex.watchdog_seconds == 7.5
+        assert ex._max_worker_restarts == 3
 
     def test_backends_tuple_is_the_contract(self):
         assert BACKENDS == ("sim", "threads")

@@ -11,6 +11,7 @@ loaded.
 
 import json
 import shutil
+import threading
 
 import numpy as np
 import pytest
@@ -232,6 +233,28 @@ class _KillSwitch:
         return self.operator.matvec(v)
 
 
+class _ArmedCrash:
+    """Wraps an operator; arms a seeded crash plan after ``survive``
+    successful products.  Unlike :class:`_KillSwitch` the test does not
+    raise anything itself — the fault layer kills the worker and
+    escalates the typed :class:`FaultError`."""
+
+    def __init__(self, operator, plan, survive: int) -> None:
+        self.operator = operator
+        self.plan = plan
+        self.survive = survive
+        self.calls = 0
+
+    def matvec(self, v):
+        self.calls += 1
+        if self.calls > self.survive and self.operator.faults is None:
+            self.operator.faults = self.plan
+            self.operator.resilience = ResilienceConfig(
+                matvec_restarts=0, fallback_to_batched=False
+            )
+        return self.operator.matvec(v)
+
+
 class TestCheckpointRestart:
     def test_lanczos_distributed_resume_bit_identical(self, setup, tmp_path):
         """A distributed Lanczos killed mid-iteration and resumed produces
@@ -363,6 +386,131 @@ class TestCheckpointRestart:
         chunk.write_bytes(bytes(blob))
         with pytest.raises(CheckpointError, match="CRC32"):
             load_distributed_vector(tmp_path, dbasis)
+
+
+class TestThreadsCheckpointResume:
+    """Checkpoint/resume driven through the real threads backend: a
+    seeded crash schedule kills the worker mid-Lanczos, and the resumed
+    run reproduces an uninterrupted sim run bit-for-bit.
+
+    Single-locale on purpose: the shared-memory matvec is sequential, so
+    its arithmetic is identical on both backends and bit-identicality is
+    well-defined (the multi-locale threads scatter-add is exact only to
+    rounding because accumulation order depends on thread scheduling).
+    """
+
+    @staticmethod
+    def _make(backend):
+        cluster = Cluster(1, laptop_machine(cores=4), backend=backend)
+        dbasis, _ = enumerate_states(
+            cluster, SpinBasis(10, hamming_weight=5),
+            use_weight_shortcut=True,
+        )
+        return dbasis
+
+    def test_threads_crash_mid_lanczos_resume_matches_sim(self, tmp_path):
+        expr = repro.heisenberg_chain(10)
+        sim_basis = self._make("sim")
+        reference = lanczos(
+            DistributedOperator(expr, sim_basis, method="pc").matvec,
+            DistributedVector.full_random(sim_basis, seed=3),
+            k=1, tol=1e-11, space=DistributedVectorSpace(sim_basis),
+        )
+
+        tbasis = self._make("threads")
+        tspace = DistributedVectorSpace(tbasis)
+        tv0 = DistributedVector.full_random(tbasis, seed=3)
+        armed = _ArmedCrash(
+            DistributedOperator(expr, tbasis, method="pc"),
+            plan=FaultPlan(seed=9, crashes={0: 1e-6}),
+            survive=12,
+        )
+        ckpt = tmp_path / "krylov"
+        with pytest.raises(FaultError):
+            lanczos(armed.matvec, tv0, k=1, tol=1e-11, space=tspace,
+                    checkpoint_dir=ckpt, checkpoint_every=4)
+        assert armed.calls > 12, "crash must land mid-run, not at startup"
+        assert list_checkpoints(ckpt), "checkpoints must predate the crash"
+
+        resumed = lanczos(
+            DistributedOperator(expr, tbasis, method="pc").matvec,
+            tv0, k=1, tol=1e-11, space=tspace,
+            checkpoint_dir=ckpt, resume=True,
+        )
+        np.testing.assert_array_equal(
+            resumed.eigenvalues, reference.eigenvalues
+        )
+        assert resumed.n_iterations == reference.n_iterations
+        np.testing.assert_array_equal(resumed.alphas, reference.alphas)
+        np.testing.assert_array_equal(resumed.betas, reference.betas)
+
+
+class TestConcurrentCheckpointWriters:
+    """Checkpointing one directory from several threads at once: the
+    ``.lock`` file serializes writers, and readers treat a checkpoint
+    pruned out from under them as skippable, never as a crash."""
+
+    def test_concurrent_writers_with_pruning(self, tmp_path):
+        from repro.resilience import load_latest_checkpoint
+
+        errors = []
+        stop = threading.Event()
+
+        def writer(offset):
+            try:
+                for i in range(8):
+                    write_checkpoint(
+                        tmp_path,
+                        offset * 100 + i,
+                        arrays={"x": np.full(64, float(offset * 100 + i))},
+                        meta={"writer": offset},
+                        keep=2,
+                    )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    state = load_latest_checkpoint(tmp_path)
+                    assert float(state.arrays["x"][0]) == state.iteration
+                except CheckpointError:
+                    pass  # nothing committed yet / everything mid-prune
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ] + [threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        for t in threads[:-1]:
+            t.join()
+        stop.set()
+        threads[-1].join()
+        assert not errors
+        # Every writer pruned to keep=2 on its way out, under the lock:
+        # exactly the two newest checkpoints survive, both loadable.
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert len(names) == 2
+        state = load_latest_checkpoint(tmp_path)
+        assert float(state.arrays["x"][0]) == state.iteration
+
+    def test_vanished_checkpoint_is_skipped_not_fatal(self, tmp_path):
+        """A checkpoint deleted between the manifest read and the file
+        hashing (a concurrent keep-N prune) reads as corrupt."""
+        from repro.resilience import load_checkpoint
+
+        write_checkpoint(tmp_path, 1, arrays={"x": np.arange(4.0)})
+        write_checkpoint(tmp_path, 2, arrays={"x": np.arange(4.0) * 2})
+        newest = latest_checkpoint(tmp_path)
+        # Keep the manifest but remove a payload mid-"load": the CRC pass
+        # hits FileNotFoundError, which must surface as CheckpointError.
+        (newest / "state.npz").unlink()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(newest)
+        state = load_latest_checkpoint(tmp_path)
+        assert state.iteration == 1
 
 
 class TestTypedErrors:
