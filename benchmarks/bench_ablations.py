@@ -17,10 +17,36 @@ import pytest
 
 import repro
 from repro.distributed import DistributedOperator, DistributedVector
+from repro.distributed.matvec_pc import DEFAULT_CONSUMER_FRACTION
 from repro.perfmodel import MatvecScalingModel, paper_workload
 from repro.runtime import snellius_machine
 
 from conftest import write_result
+
+
+def _knobs(batch_size=1 << 13, consumer_fraction=DEFAULT_CONSUMER_FRACTION,
+           work_stealing=False) -> dict:
+    """A fully-specified knob dict for the machine-readable artifacts.
+
+    The autotuner seeds its measured stage from these rows
+    (:func:`repro.autotune.seed_candidates_from_dir`), so every sweep row
+    records the complete assignment it ran with, not just the swept knob.
+    """
+    return {
+        "batch_size": batch_size,
+        "consumer_fraction": consumer_fraction,
+        "work_stealing": work_stealing,
+    }
+
+
+def _workload_block(dbasis, method: str = "pc") -> dict:
+    """Identify the workload a sweep ran on (for cross-artifact joins)."""
+    return {
+        "n_sites": dbasis.n_sites,
+        "dimension": dbasis.dim,
+        "n_locales": dbasis.n_locales,
+        "method": method,
+    }
 
 
 @pytest.fixture(scope="module")
@@ -68,7 +94,11 @@ def test_ablation_matvec_variants(benchmark, reference):
     write_result(
         "ablation_matvec_variants",
         "\n".join(lines),
-        data={"simulated_seconds": times},
+        data={
+            "simulated_seconds": times,
+            "knobs": _knobs(batch_size=32),
+            "workload": _workload_block(dbasis, method="all"),
+        },
     )
 
 
@@ -99,9 +129,11 @@ def test_ablation_batch_size(benchmark, reference):
                     "batch_size": batch,
                     "simulated_seconds": t,
                     "mean_message_bytes": msg,
+                    "knobs": _knobs(batch_size=batch),
                 }
                 for batch, t, msg in rows
-            ]
+            ],
+            "workload": _workload_block(dbasis),
         },
     )
 
@@ -139,10 +171,20 @@ def test_ablation_producer_consumer_split(benchmark):
         "\n".join(lines),
         data={
             "rows": [
-                {"consumers": consumers, "speedup_at_64": speedup}
+                {
+                    "consumers": consumers,
+                    "speedup_at_64": speedup,
+                    "knobs": _knobs(consumer_fraction=consumers / 128),
+                }
                 for consumers, speedup in rows
             ],
             "work_stealing_speedup": steal,
+            "workload": {
+                "n_sites": 42,
+                "n_locales": 64,
+                "method": "pc",
+                "model": "MatvecScalingModel",
+            },
         },
     )
 
@@ -161,6 +203,30 @@ def test_ablation_work_stealing_real_data(benchmark, reference):
     t_plain, t_steal = benchmark(run_both)
     # stealing never loses (ties allowed at this tiny scale)
     assert t_steal <= t_plain * 1.05
+    write_result(
+        "ablation_work_stealing",
+        "\n".join(
+            [
+                "Work stealing vs the static split, 20-spin sector "
+                "(real data):",
+                f"  static split:  {t_plain:.6f} s",
+                f"  work stealing: {t_steal:.6f} s",
+            ]
+        ),
+        data={
+            "rows": [
+                {
+                    "simulated_seconds": t_plain,
+                    "knobs": _knobs(batch_size=128),
+                },
+                {
+                    "simulated_seconds": t_steal,
+                    "knobs": _knobs(batch_size=128, work_stealing=True),
+                },
+            ],
+            "workload": _workload_block(dbasis),
+        },
+    )
 
 
 def test_ablation_hashed_vs_block_balance(benchmark, chain16_setup):

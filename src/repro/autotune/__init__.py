@@ -1,0 +1,53 @@
+"""Telemetry-driven autotuning of the matvec pipeline knobs.
+
+The paper's performance story (Sec. 6.3/7) is about configuration:
+getManyRows batch size, the producer:consumer core split (the 104/24
+discussion), and work stealing.  This package closes the loop the
+ROADMAP asks for — the analytics layer already *measures* stalls,
+overlap, and imbalance; the autotuner *acts* on them:
+
+- :func:`~repro.autotune.fingerprint.workload_fingerprint` keys tuning
+  results per (Hamiltonian, sector, cluster, backend, method);
+- :class:`~repro.autotune.cache.TuneCache` persists them in versioned
+  JSON next to the benchmark baselines;
+- :class:`~repro.autotune.tuner.Autotuner` runs the two-stage search —
+  analytic coarse pruning over the scaling model, then measured
+  refinement replaying the real workload;
+- :func:`~repro.autotune.recommend.recommend_from_trace` turns a
+  recorded trace into knob advice (``repro-inspect tune TRACE``), and
+  :func:`~repro.autotune.recommend.recommend_split` rediscovers the
+  paper's static-split inefficiency from the model alone.
+
+Operators opt in with ``DistributedOperator(..., tune="auto")`` (apply
+cached knobs, search on a miss), ``tune="force"`` (always re-search), or
+the default ``tune="off"``.
+"""
+
+from repro.autotune.cache import CACHE_VERSION, TuneCache, default_cache_path
+from repro.autotune.fingerprint import workload_fingerprint
+from repro.autotune.recommend import (
+    recommend_from_trace,
+    recommend_split,
+    render_recommendations,
+)
+from repro.autotune.search import (
+    OperatorWorkload,
+    default_knobs,
+    seed_candidates_from_dir,
+)
+from repro.autotune.tuner import Autotuner, TuneResult
+
+__all__ = [
+    "Autotuner",
+    "TuneResult",
+    "TuneCache",
+    "CACHE_VERSION",
+    "default_cache_path",
+    "workload_fingerprint",
+    "OperatorWorkload",
+    "default_knobs",
+    "seed_candidates_from_dir",
+    "recommend_from_trace",
+    "recommend_split",
+    "render_recommendations",
+]

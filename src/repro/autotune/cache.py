@@ -1,0 +1,116 @@
+"""The persistent tuned-settings cache.
+
+One JSON file maps workload fingerprints (see
+:mod:`repro.autotune.fingerprint`) to tuned knob assignments plus the
+measurements that justified them.  The file is versioned — a format bump
+discards stale entries instead of misapplying them — and contains no
+timestamps or host names, so tuning the same workload twice writes
+byte-identical files (the determinism the CI smoke gate checks).
+
+The default location is ``benchmarks/baselines/autotune_cache.json``
+next to the benchmark baselines (both are "known good numbers for this
+repo" artifacts); override it per call with ``tune_cache=`` / the
+``--tune-cache`` flag, or process-wide with the ``REPRO_TUNE_CACHE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+__all__ = ["TuneCache", "CACHE_VERSION", "default_cache_path"]
+
+CACHE_VERSION = 1
+
+#: Resolved relative to the current working directory, like the bench
+#: harness's ``benchmarks/results`` — the repo checkout is the unit of
+#: "known good" here.
+DEFAULT_CACHE_RELPATH = Path("benchmarks") / "baselines" / "autotune_cache.json"
+
+
+def default_cache_path() -> Path:
+    env = os.environ.get("REPRO_TUNE_CACHE")
+    return Path(env) if env else DEFAULT_CACHE_RELPATH
+
+
+class TuneCache:
+    """A dict of fingerprint -> tuned entry, persisted as versioned JSON.
+
+    Entries are plain dicts (see :class:`~repro.autotune.tuner.TuneResult`
+    for the producer): ``{"knobs": {...}, "default_seconds": ...,
+    "tuned_seconds": ..., "clock": "sim"|"wall", "method": ...,
+    "n_measured": ...}``.  :meth:`put` persists immediately and
+    atomically (write-to-temp + rename), so concurrent readers never see
+    a torn file.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self.entries: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(
+                f"tune cache {self.path} is not valid JSON (corrupt?): {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"tune cache {self.path} must be a JSON object, got "
+                f"{type(data).__name__}"
+            )
+        if data.get("version") != CACHE_VERSION:
+            # Older (or newer) recipe: start fresh rather than misapply.
+            return
+        entries = data.get("entries", {})
+        if isinstance(entries, dict):
+            self.entries = entries
+
+    def get(self, fingerprint: str) -> dict | None:
+        return self.entries.get(fingerprint)
+
+    def put(self, fingerprint: str, entry: dict) -> None:
+        self.entries[fingerprint] = entry
+        self.save()
+
+    def to_json(self) -> dict:
+        return {
+            "version": CACHE_VERSION,
+            "entries": {
+                key: self.entries[key] for key in sorted(self.entries)
+            },
+        }
+
+    def save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries

@@ -54,7 +54,15 @@ Command-line flags:
 The ``cluster`` section accepts ``faults`` and ``resilience``
 sub-sections with the same keys, a ``backend`` key (``"sim"`` or
 ``"threads"``, overridable with ``--backend``; see ``docs/BACKENDS.md``),
-and the ``solver`` section accepts
+a ``matvec`` sub-section with the pipeline knobs of Sec. 5.3/6.3 —
+``{"batch_size": 8192, "consumer_fraction": 0.1875, "work_stealing":
+false, "block_width": 1}`` (``block_width`` is advisory: the executed
+width comes from the vector's column count) — plus ``tune`` (``"off"`` /
+``"auto"`` / ``"force"``) and ``tune_cache`` keys driving the autotuner
+(see ``docs/PERFORMANCE.md``).  The matching command-line flags
+``--batch-size`` / ``--consumer-fraction`` / ``--work-stealing`` and
+``--tune`` / ``--tune-cache`` override the file.  The ``solver`` section
+accepts
 ``checkpoint: {"dir": ..., "every": 10, "keep": 2, "resume": false}``.
 
 See ``docs/OBSERVABILITY.md`` for the trace schema and metric names.
@@ -228,6 +236,57 @@ def load_simulation(source) -> SimulationSpec:
     )
 
 
+#: cluster.matvec knob -> (validator, human-readable constraint)
+_MATVEC_KNOBS = {
+    "batch_size": (
+        lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 1,
+        "an integer >= 1",
+    ),
+    "consumer_fraction": (
+        lambda v: isinstance(v, (int, float))
+        and not isinstance(v, bool)
+        and 0.0 < float(v) <= 1.0,
+        "a number in (0, 1]",
+    ),
+    "work_stealing": (lambda v: isinstance(v, bool), "a boolean"),
+    "block_width": (
+        lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 1,
+        "an integer >= 1",
+    ),
+}
+
+
+def _parse_matvec_section(section) -> dict:
+    """Validate ``cluster.matvec`` and return it as a plain knob dict.
+
+    ``block_width`` is accepted (and echoed in the output) but is not a
+    matvec keyword — the executed block width is the vector's column
+    count; the knob informs the performance model and the autotuner.
+    """
+    from repro.errors import ConfigError
+
+    if section is None:
+        return {}
+    if not isinstance(section, dict):
+        raise ConfigError("cluster 'matvec' section must be an object")
+    unknown = set(section) - set(_MATVEC_KNOBS)
+    if unknown:
+        raise ConfigError(
+            f"unknown cluster.matvec keys: {sorted(unknown)}; "
+            f"available: {sorted(_MATVEC_KNOBS)}"
+        )
+    for key, (check, requirement) in _MATVEC_KNOBS.items():
+        if key in section and not check(section[key]):
+            raise ConfigError(
+                f"cluster.matvec.{key} must be {requirement}, "
+                f"got {section[key]!r}"
+            )
+    knobs = dict(section)
+    if "consumer_fraction" in knobs:
+        knobs["consumer_fraction"] = float(knobs["consumer_fraction"])
+    return knobs
+
+
 def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
     """Execute the eigensolve described by a spec.
 
@@ -266,6 +325,11 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
         resilience_section = cluster_options.pop("resilience", None)
         machine_name = cluster_options.pop("machine", "snellius")
         backend = cluster_options.pop("backend", "sim")
+        matvec_knobs = _parse_matvec_section(
+            cluster_options.pop("matvec", None)
+        )
+        tune = cluster_options.pop("tune", "off")
+        tune_cache = cluster_options.pop("tune_cache", None)
         machine = (
             laptop_machine(**cluster_options)
             if machine_name == "laptop"
@@ -291,7 +355,18 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
         dbasis, enum_report = enumerate_states(
             cluster, spec.basis, use_weight_shortcut=True
         )
-        operator = DistributedOperator(spec.expression, dbasis)
+        method_options = {
+            key: value
+            for key, value in matvec_knobs.items()
+            if key != "block_width"
+        }
+        operator = DistributedOperator(
+            spec.expression,
+            dbasis,
+            tune=tune,
+            tune_cache=tune_cache,
+            **method_options,
+        )
         result, sim_time = lanczos_distributed(
             operator,
             k=k,
@@ -310,6 +385,14 @@ def run_simulation(spec: SimulationSpec, seed: int = 0) -> dict:
             "simulated_seconds": sim_time,
             "enumeration_seconds": enum_report.elapsed,
         }
+        if matvec_knobs:
+            output["matvec"] = dict(matvec_knobs)
+        if operator.tuned is not None:
+            output["tuned"] = {
+                "fingerprint": operator.tuned.fingerprint,
+                "knobs": dict(operator.tuned.knobs),
+                "from_cache": operator.tuned.from_cache,
+            }
         if spec.observables:
             output["observables"] = _measure_distributed(
                 spec, dbasis, result.eigenvectors[0]
@@ -421,6 +504,48 @@ def main(argv: list[str] | None = None) -> None:
         "docs/BACKENDS.md); requires a 'cluster' section in the input",
     )
     parser.add_argument(
+        "--batch-size",
+        metavar="N",
+        type=int,
+        default=None,
+        help="getManyRows batch size for the distributed matvec (merged "
+        "into the cluster 'matvec' section); requires a 'cluster' section "
+        "in the input",
+    )
+    parser.add_argument(
+        "--consumer-fraction",
+        metavar="F",
+        type=float,
+        default=None,
+        help="fraction of each locale's cores dedicated to consumers in "
+        "the producer-consumer pipeline, in (0, 1] (merged into the "
+        "cluster 'matvec' section); requires a 'cluster' section",
+    )
+    parser.add_argument(
+        "--work-stealing",
+        action="store_true",
+        help="let idle producers steal consumer work instead of a static "
+        "core split (merged into the cluster 'matvec' section); requires "
+        "a 'cluster' section",
+    )
+    parser.add_argument(
+        "--tune",
+        choices=("off", "auto", "force"),
+        default=None,
+        help="autotune the matvec pipeline knobs for this workload: "
+        "'auto' applies cached tuned knobs (searching once on a miss), "
+        "'force' always re-searches, 'off' keeps the paper defaults "
+        "(see docs/PERFORMANCE.md); requires a 'cluster' section",
+    )
+    parser.add_argument(
+        "--tune-cache",
+        metavar="PATH",
+        default=None,
+        help="autotuner cache file (default "
+        "benchmarks/baselines/autotune_cache.json or $REPRO_TUNE_CACHE); "
+        "requires a 'cluster' section",
+    )
+    parser.add_argument(
         "--watchdog-timeout",
         metavar="SECONDS",
         type=float,
@@ -523,6 +648,39 @@ def main(argv: list[str] | None = None) -> None:
         section = dict(spec.cluster_options.get("resilience") or {})
         section[key] = value
         spec.cluster_options["resilience"] = section
+    for flag, key, value in (
+        ("--batch-size", "batch_size", args.batch_size),
+        (
+            "--consumer-fraction",
+            "consumer_fraction",
+            args.consumer_fraction,
+        ),
+        (
+            "--work-stealing",
+            "work_stealing",
+            True if args.work_stealing else None,
+        ),
+    ):
+        if value is None:
+            continue
+        if not spec.distributed:
+            raise ReproError(
+                f"{flag} requires a 'cluster' section in the input file"
+            )
+        section = dict(spec.cluster_options.get("matvec") or {})
+        section[key] = value
+        spec.cluster_options["matvec"] = section
+    for flag, key, value in (
+        ("--tune", "tune", args.tune),
+        ("--tune-cache", "tune_cache", args.tune_cache),
+    ):
+        if value is None:
+            continue
+        if not spec.distributed:
+            raise ReproError(
+                f"{flag} requires a 'cluster' section in the input file"
+            )
+        spec.cluster_options[key] = value
     if args.resume and args.checkpoint is None and not (
         spec.solver_options.get("checkpoint") or {}
     ).get("dir"):

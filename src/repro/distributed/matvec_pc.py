@@ -82,7 +82,7 @@ from repro.distributed.matvec_common import (
     wire_bytes,
 )
 from repro.distributed.vector import DistributedVector
-from repro.errors import FaultError
+from repro.errors import ConfigError, FaultError
 from repro.operators.compile import CompiledOperator
 from repro.resilience.faults import ResilienceConfig
 from repro.runtime.clock import CostLedger, SimReport
@@ -101,7 +101,25 @@ _SENTINEL = object()
 
 
 def split_cores(cores: int, consumer_fraction: float) -> tuple[int, int]:
-    """(producers, consumers) for a locale with ``cores`` cores."""
+    """(producers, consumers) for a locale with ``cores`` cores.
+
+    Both sides of the split are always at least 1.  A single-core locale
+    degenerates to one shared core that both generates and consumes
+    (``(1, 1)``) — the paper's shared-memory mode — instead of the old
+    behaviour where ``min(..., cores - 1)`` produced zero consumers and
+    a pipeline that could never drain.  Invalid inputs (``cores < 1``,
+    ``consumer_fraction`` outside ``(0, 1]``) raise
+    :class:`~repro.errors.ConfigError`.
+    """
+    if cores < 1:
+        raise ConfigError(f"split_cores needs cores >= 1, got {cores}")
+    if not 0.0 < consumer_fraction <= 1.0:
+        raise ConfigError(
+            "consumer_fraction must be in (0, 1], got "
+            f"{consumer_fraction!r}"
+        )
+    if cores == 1:
+        return 1, 1
     consumers = min(max(int(round(cores * consumer_fraction)), 1), cores - 1)
     return cores - consumers, consumers
 

@@ -15,7 +15,7 @@ from repro.distributed.matvec_batched import matvec_batched
 from repro.distributed.matvec_naive import matvec_naive
 from repro.distributed.matvec_pc import matvec_producer_consumer
 from repro.distributed.vector import DistributedVector
-from repro.errors import CompilationError, FaultError
+from repro.errors import CompilationError, ConfigError, FaultError
 from repro.operators.compile import compile_expression
 from repro.operators.expression import Expression
 from repro.operators.plan import MatvecPlan
@@ -44,6 +44,19 @@ class DistributedOperator:
     Krylov iterations cheap.  Pass a ``MatvecPlan`` instance to control the
     memory budget, or ``False`` to recompute everything each call.
 
+    ``tune`` selects the autotuning mode (see :mod:`repro.autotune`):
+    ``"off"`` (default) runs with the paper-default knobs, ``"auto"``
+    applies the cached tuned knobs for this workload's fingerprint —
+    searching once and persisting on a cache miss — and ``"force"``
+    always re-searches.  Tuned knobs are applied as *defaults*: any
+    knob passed explicitly in ``method_options`` wins.  ``tune_cache``
+    overrides the cache file location (default
+    ``benchmarks/baselines/autotune_cache.json``, or the
+    ``REPRO_TUNE_CACHE`` environment variable).  A tuned plan-cache
+    budget also sizes the auto-created :class:`MatvecPlan` (an explicit
+    ``plan=`` instance is left untouched).  The applied result is kept
+    in :attr:`tuned`.
+
     ``faults`` / ``resilience`` activate the self-healing layer (they
     default to whatever is attached to the basis's cluster).  On a
     :class:`~repro.errors.FaultError` from the producer-consumer pipeline
@@ -65,11 +78,17 @@ class DistributedOperator:
         plan: bool | MatvecPlan = True,
         faults=None,
         resilience=None,
+        tune: str = "off",
+        tune_cache=None,
         **method_options,
     ) -> None:
         if method not in _METHODS:
             raise ValueError(
                 f"unknown matvec method {method!r}; choose from {sorted(_METHODS)}"
+            )
+        if tune not in ("off", "auto", "force"):
+            raise ConfigError(
+                f"tune must be 'off', 'auto', or 'force', got {tune!r}"
             )
         self.basis = basis
         cluster = basis.cluster
@@ -94,9 +113,32 @@ class DistributedOperator:
                 "a fixed Hamming weight"
             )
         self.method = method
-        self.method_options = method_options
+        self.method_options = dict(method_options)
+        self.tuned = None
+        if tune != "off":
+            from repro.autotune import Autotuner
+
+            tuner = Autotuner(cache=tune_cache)
+            self.tuned = tuner.tune(
+                self.compiled, basis, method=method, force=tune == "force"
+            )
+            knobs = self.tuned.knobs
+            applicable = (
+                ("batch_size", "consumer_fraction", "work_stealing")
+                if method in ("pc", "producer-consumer")
+                else ("batch_size",)
+            )
+            for key in applicable:
+                if key in knobs:
+                    # Tuned knobs are defaults; explicit kwargs win.
+                    self.method_options.setdefault(key, knobs[key])
         if plan is True:
-            self.plan: MatvecPlan | None = MatvecPlan()
+            budget = (
+                self.tuned.knobs.get("plan_cache_bytes")
+                if self.tuned is not None
+                else None
+            )
+            self.plan: MatvecPlan | None = MatvecPlan(capacity_bytes=budget)
         elif plan is False or plan is None:
             self.plan = None
         else:

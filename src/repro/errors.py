@@ -4,6 +4,7 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "ConfigError",
     "InvalidSectorError",
     "BasisError",
     "CompilationError",
@@ -18,6 +19,17 @@ __all__ = [
 
 class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values (knobs, splits, tune modes).
+
+    Covers out-of-range pipeline knobs (``batch_size < 1``, a
+    ``consumer_fraction`` outside ``(0, 1]``, ``cores < 1`` handed to
+    :func:`~repro.distributed.matvec_pc.split_cores`), unknown
+    ``cluster.matvec`` keys in an input file, and invalid ``tune=``
+    modes on :class:`~repro.distributed.operator.DistributedOperator`.
+    """
 
 
 class InvalidSectorError(ReproError):

@@ -35,6 +35,7 @@ Use it as a library (:func:`analyze_trace`) or from the command line::
     python -m repro.telemetry.analysis cost trace.json
     python -m repro.telemetry.analysis jobs trace.json
     python -m repro.telemetry.analysis calibrate sim_trace.json wall_trace.json
+    python -m repro.telemetry.analysis tune trace.json
 
 (also installed as the ``repro-inspect`` console script).  The ``diff``
 subcommand compares two traces or two metrics snapshots and prints the
@@ -53,7 +54,11 @@ different domains; the deliberate cross-domain comparison is
 ``calibrate``, which aligns a sim-clock *model* trace against a
 wall-clock *measured* trace of the same workload and reports per-phase
 model-vs-measured time ratios (the calibration data the performance
-model and the planned autotuner consume).
+model and the autotuner consume).  The ``tune`` subcommand feeds a
+recorded trace to :func:`repro.autotune.recommend_from_trace` and
+prints knob-directed recommendations — stall-dominated splits, poorly
+hidden communication, load imbalance (see ``docs/PERFORMANCE.md``,
+"Autotuning").
 """
 
 from __future__ import annotations
@@ -712,7 +717,8 @@ def calibrate_traces(model_source, measured_source) -> dict:
     name over the locale tracks — plus the headline scalars of both
     analyses.  A ratio above 1 means that phase runs slower in real life
     than the machine model predicts; this is the table the performance
-    model is tuned against and the future autotuner will consume.
+    model is tuned against and the autotuner's threads-backend sanity
+    check records (``TuneResult.calibration``).
     """
     model = analyze_trace(model_source)
     measured = analyze_trace(measured_source)
@@ -1015,6 +1021,44 @@ def _main(argv: list[str] | None = None) -> int:
                 if command == "cost"
                 else _render_jobs(rows)
             )
+        return 0
+    if argv and argv[0] == "tune":
+        parser = argparse.ArgumentParser(
+            prog="repro-inspect tune",
+            description=(
+                "Read the pipeline diagnostics of a recorded trace and "
+                "print knob recommendations (batch size, producer:"
+                "consumer split, work stealing)"
+            ),
+        )
+        parser.add_argument(
+            "trace", help="path to a Chrome trace-event JSON file"
+        )
+        parser.add_argument(
+            "--json", action="store_true", help="emit machine-readable JSON"
+        )
+        parser.add_argument(
+            "--out",
+            metavar="PATH",
+            default=None,
+            help="also write the JSON report to PATH",
+        )
+        args = parser.parse_args(argv[1:])
+        # Imported lazily: repro.autotune depends on the distributed and
+        # perfmodel layers, which the pure-analysis subcommands never load.
+        from repro.autotune.recommend import (
+            recommend_from_trace,
+            render_recommendations,
+        )
+
+        report = recommend_from_trace(args.trace)
+        if args.out is not None:
+            Path(args.out).write_text(json.dumps(report, indent=2))
+        print(
+            json.dumps(report, indent=2)
+            if args.json
+            else render_recommendations(report)
+        )
         return 0
     if argv and argv[0] == "calibrate":
         parser = argparse.ArgumentParser(

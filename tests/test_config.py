@@ -258,6 +258,137 @@ class TestResilienceKnobs:
             main([str(input_path), "--max-worker-restarts", "1"])
 
 
+class TestMatvecKnobs:
+    """Round-trips for the pipeline knobs (``cluster.matvec`` section and
+    the ``--batch-size`` / ``--consumer-fraction`` / ``--work-stealing``
+    flags) and the autotuner modes (``tune`` / ``--tune``)."""
+
+    CLUSTER_SPEC = {
+        "n_sites": 10,
+        "hamiltonian": {"model": "heisenberg_chain"},
+        "basis": {"hamming_weight": 5},
+        "solver": {"k": 1, "tol": 1e-10},
+        "cluster": {"n_locales": 2, "machine": "laptop"},
+    }
+
+    def _with_cluster(self, **cluster_extra):
+        spec = json.loads(json.dumps(self.CLUSTER_SPEC))
+        spec["cluster"].update(cluster_extra)
+        return spec
+
+    def test_matvec_section_round_trip(self):
+        knobs = {
+            "batch_size": 64,
+            "consumer_fraction": 0.25,
+            "work_stealing": True,
+            "block_width": 1,
+        }
+        plain = run_simulation(load_simulation(self.CLUSTER_SPEC))
+        tuned = run_simulation(
+            load_simulation(self._with_cluster(matvec=knobs))
+        )
+        # knobs are echoed verbatim and never change the physics
+        assert tuned["matvec"] == knobs
+        assert "matvec" not in plain
+        np.testing.assert_allclose(
+            tuned["eigenvalues"], plain["eigenvalues"], atol=1e-8
+        )
+
+    def test_matvec_section_validation(self):
+        from repro.errors import ConfigError
+
+        bad_sections = [
+            {"batch_size": 0},
+            {"batch_size": True},
+            {"consumer_fraction": 0.0},
+            {"consumer_fraction": 1.5},
+            {"work_stealing": 1},
+            {"block_width": 0},
+            {"granularity": 4},
+        ]
+        for section in bad_sections:
+            with pytest.raises(ConfigError):
+                run_simulation(
+                    load_simulation(self._with_cluster(matvec=section))
+                )
+
+    def test_cli_flags_inject_matvec_section(self, tmp_path, capsys):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps(self.CLUSTER_SPEC))
+        main([
+            str(input_path),
+            "--batch-size", "128",
+            "--consumer-fraction", "0.25",
+            "--work-stealing",
+        ])
+        out = json.loads(capsys.readouterr().out)
+        assert out["converged"]
+        assert out["matvec"] == {
+            "batch_size": 128,
+            "consumer_fraction": 0.25,
+            "work_stealing": True,
+        }
+
+    def test_cli_flags_override_file_section(self, tmp_path, capsys):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps(
+            self._with_cluster(matvec={"batch_size": 32})
+        ))
+        main([str(input_path), "--batch-size", "256"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["matvec"]["batch_size"] == 256
+
+    def test_cli_flags_require_cluster_section(self, tmp_path):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        input_path.write_text(json.dumps(BASE_SPEC))
+        for flags in (
+            ["--batch-size", "64"],
+            ["--consumer-fraction", "0.25"],
+            ["--work-stealing"],
+            ["--tune", "auto"],
+            ["--tune-cache", "cache.json"],
+        ):
+            with pytest.raises(ReproError, match=flags[0]):
+                main([str(input_path)] + flags)
+
+    def test_tune_auto_round_trip(self, tmp_path, capsys):
+        from repro.config import main
+
+        input_path = tmp_path / "input.json"
+        cache_path = tmp_path / "cache.json"
+        input_path.write_text(json.dumps(self.CLUSTER_SPEC))
+        args = [
+            str(input_path),
+            "--tune", "auto",
+            "--tune-cache", str(cache_path),
+        ]
+        main(args)
+        cold = json.loads(capsys.readouterr().out)
+        assert not cold["tuned"]["from_cache"]
+        assert cache_path.exists()
+        main(args)
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["tuned"]["from_cache"]
+        assert warm["tuned"]["knobs"] == cold["tuned"]["knobs"]
+        np.testing.assert_allclose(
+            warm["eigenvalues"], cold["eigenvalues"], atol=1e-10
+        )
+
+    def test_invalid_tune_mode_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_simulation(
+                load_simulation(self._with_cluster(tune="always"))
+            )
+
+
 class TestObservables:
     SPEC = {
         "n_sites": 12,

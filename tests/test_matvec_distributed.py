@@ -9,6 +9,7 @@ batch/buffer parameters.
 
 import numpy as np
 import pytest
+from hypothesis import given, strategies as st
 
 import repro
 from repro.basis import SpinBasis, SymmetricBasis
@@ -177,8 +178,39 @@ class TestSplitCores:
         assert (producers, consumers) == (104, 24)
 
     def test_always_at_least_one_each(self):
-        assert split_cores(2, 0.0) == (1, 1)
         assert split_cores(2, 1.0) == (1, 1)
+        assert split_cores(2, 1e-9) == (1, 1)
+
+    def test_single_core_shares(self):
+        # cores=1 means one worker plays both roles, not a crash
+        assert split_cores(1, 24 / 128) == (1, 1)
+        assert split_cores(1, 1.0) == (1, 1)
+
+    def test_invalid_inputs_rejected(self):
+        from repro.errors import ConfigError
+
+        for cores in (0, -4):
+            with pytest.raises(ConfigError):
+                split_cores(cores, 0.25)
+        for fraction in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigError):
+                split_cores(8, fraction)
+
+    @given(
+        cores=st.integers(min_value=1, max_value=128),
+        fraction=st.floats(
+            min_value=1e-6, max_value=1.0, allow_nan=False
+        ),
+    )
+    def test_property_both_pools_populated(self, cores, fraction):
+        producers, consumers = split_cores(cores, fraction)
+        assert producers >= 1
+        assert consumers >= 1
+        if cores == 1:
+            # the single core is shared, not split
+            assert (producers, consumers) == (1, 1)
+        else:
+            assert producers + consumers == cores
 
     def test_fraction_rounding(self):
         producers, consumers = split_cores(10, 0.25)
